@@ -1,0 +1,56 @@
+"""E10 — interface compression (Observation 3.2 / compressed PQ-trees).
+
+A part's skeleton summary — what a merge coordinator actually receives —
+must scale with the part's *boundary*, not with its size.  We grow parts
+by an order of magnitude at fixed boundary and check the summary stays
+flat, then grow the boundary at fixed part size and check it scales
+linearly.
+"""
+
+from repro.analysis import fit_power_law, print_table, verdict
+from repro.core import fresh_part, interface_skeleton
+from repro.planar.generators import cycle_graph, grid_graph
+
+
+def run_experiment():
+    rows = []
+    # fixed boundary (4 attachments), growing part
+    fixed_boundary_words = []
+    for k in (5, 10, 20, 40):
+        g = grid_graph(k, k)
+        corners = [0, k - 1, k * k - k, k * k - 1]
+        part = fresh_part(g, [(c, 10_000 + c) for c in corners])
+        sk = interface_skeleton(part)
+        fixed_boundary_words.append(sk.words)
+        rows.append([f"grid{k}x{k}", g.num_nodes, 4, sk.words])
+    # fixed part (cycle of 240), growing boundary
+    growing = []
+    for b in (3, 6, 12, 24, 48):
+        g = cycle_graph(240)
+        attachments = [i * (240 // b) for i in range(b)]
+        part = fresh_part(g, [(a, 10_000 + a) for a in attachments])
+        sk = interface_skeleton(part)
+        growing.append((b, sk.words))
+        rows.append(["cycle240", 240, b, sk.words])
+    print_table(
+        ["part", "part size n", "boundary", "summary words"],
+        rows,
+        title="E10: interface-skeleton summary sizes",
+    )
+    return fixed_boundary_words, growing
+
+
+def test_e10_interface(run_once):
+    fixed_boundary_words, growing = run_once(run_experiment)
+    ok = verdict(
+        "E10: summary size independent of part size (fixed boundary)",
+        max(fixed_boundary_words) <= min(fixed_boundary_words) + 2,
+        f"words {fixed_boundary_words} across a 64x part-size range",
+    )
+    fit = fit_power_law([b for b, _ in growing], [w for _, w in growing])
+    ok &= verdict(
+        "E10: summary size ~linear in the boundary",
+        0.8 <= fit.exponent <= 1.2,
+        f"boundary-exponent {fit.exponent:.2f}",
+    )
+    assert ok

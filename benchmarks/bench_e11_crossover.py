@@ -1,0 +1,57 @@
+"""E11 — the min(log n, D) crossover in Theorem 1.1's bound.
+
+Two regimes:
+
+* **small D** (stacked prisms with a fat rim and few layers): here
+  ``D < log n`` is approached and the bound's ``D^2`` side governs —
+  rounds track D^2-ish quantities and stay far below n;
+* **huge D** (paths / long subdivisions, ``D = Theta(n)``): the
+  ``log n`` side caps the per-level multiplier, so rounds grow like
+  ``n log n / n = log n`` *per unit of D* at most — i.e. rounds/D stays
+  O(log n) while D explodes.
+
+The measured shape: rounds/(D*min(log n, D)) is bounded in both regimes,
+while neither D^2 alone nor D*log n alone would cover both.
+"""
+
+import math
+
+from repro import distributed_planar_embedding
+from repro.analysis import print_table, verdict
+from repro.planar.generators import path_graph, stacked_prism
+
+
+def run_experiment():
+    rows, ratios = [], []
+    for name, g in [
+        ("prism2x24", stacked_prism(2, 24)),
+        ("prism2x64", stacked_prism(2, 64)),
+        ("prism3x100", stacked_prism(3, 100)),
+        ("path60", path_graph(60)),
+        ("path180", path_graph(180)),
+        ("path420", path_graph(420)),
+    ]:
+        result = distributed_planar_embedding(g)
+        n = g.num_nodes
+        d = max(2, 2 * result.bfs_depth)
+        bound = d * min(math.log2(n), d)
+        ratios.append(result.rounds / bound)
+        regime = "D^2" if d < math.log2(n) else "D*log n"
+        rows.append(
+            [name, n, d, result.rounds, round(result.rounds / bound, 2), regime]
+        )
+    print_table(
+        ["family", "n", "D(2approx)", "rounds", "rounds/bound", "binding side"],
+        rows,
+        title="E11: the min(log n, D) crossover",
+    )
+    return ratios
+
+
+def test_e11_crossover(run_once):
+    ratios = run_once(run_experiment)
+    assert verdict(
+        "E11: rounds/(D*min(log n, D)) bounded in both regimes",
+        max(ratios) <= 30 and max(ratios) / min(ratios) <= 30,
+        f"ratios {['%.1f' % r for r in ratios]}",
+    )

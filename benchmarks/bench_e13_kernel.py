@@ -1,0 +1,54 @@
+"""E13 — the LR planarity kernel ([HT74] stand-in): correctness + scaling.
+
+The centralized kernel underpins every local computation in the system
+(merge instances, realizations, the baseline's root solve).  This bench
+confirms near-linear wall-clock scaling on maximal planar graphs and
+exact decisions on planar/non-planar families.
+"""
+
+import time
+
+from repro.analysis import fit_power_law, print_table, verdict
+from repro.planar import is_planar, lr_planarity
+from repro.planar.generators import (
+    complete_bipartite,
+    complete_graph,
+    grid_graph,
+    random_maximal_planar,
+)
+
+
+def run_experiment():
+    rows, ns, times = [], [], []
+    for n in (500, 1000, 2000, 4000, 8000):
+        g = random_maximal_planar(n, seed=n)
+        t0 = time.perf_counter()
+        rot = lr_planarity(g)
+        dt = time.perf_counter() - t0
+        assert rot is not None and rot.genus() == 0
+        ns.append(n)
+        times.append(dt)
+        rows.append([n, g.num_edges, round(dt * 1000, 1)])
+    print_table(
+        ["n", "m", "time (ms)"],
+        rows,
+        title="E13: LR kernel scaling on maximal planar graphs",
+    )
+    decisions_ok = (
+        is_planar(grid_graph(40, 40))
+        and not is_planar(complete_graph(5))
+        and not is_planar(complete_bipartite(3, 3))
+    )
+    return ns, times, decisions_ok
+
+
+def test_e13_kernel(run_once):
+    ns, times, decisions_ok = run_once(run_experiment)
+    fit = fit_power_law(ns, times)
+    ok = verdict(
+        "E13: kernel scales near-linearly",
+        fit.exponent <= 1.5,
+        f"time exponent {fit.exponent:.2f}",
+    )
+    ok &= verdict("E13: exact planar/non-planar decisions", decisions_ok)
+    assert ok

@@ -1,0 +1,59 @@
+"""E1 — Theorem 1.1 headline: rounds = O(D * min(log n, D)), sublinear in n.
+
+Reproduces the paper's main claim on three planar families with
+D = Theta(sqrt(n)) (grids, triangulated grids, random maximal planar):
+the measured round count divided by D*log2(n) stays bounded by a
+constant while n grows by an order of magnitude, and the growth exponent
+of rounds-vs-n is ~0.5-0.65 (the sqrt(n)*log n shape), far below the
+linear growth of the trivial algorithm.
+"""
+
+import math
+
+from repro import distributed_planar_embedding
+from repro.analysis import bound_ratios, fit_power_law, print_table, verdict
+from repro.planar.generators import grid_graph, random_maximal_planar, triangulated_grid
+
+
+def run_experiment():
+    series = {}
+    rows = []
+    for name, make in [
+        ("grid", lambda k: grid_graph(k, k)),
+        ("trigrid", lambda k: triangulated_grid(k, k)),
+        ("maximal", lambda k: random_maximal_planar(k * k, seed=k)),
+    ]:
+        ns, ds, rounds = [], [], []
+        for k in (8, 12, 17, 24, 34):
+            g = make(k)
+            result = distributed_planar_embedding(g)
+            d = max(1, 2 * result.bfs_depth)  # 2-approx of D, as the paper uses
+            ns.append(g.num_nodes)
+            ds.append(d)
+            rounds.append(result.rounds)
+            rows.append(
+                [name, g.num_nodes, d, result.rounds,
+                 round(result.rounds / max(1.0, d * math.log2(g.num_nodes)), 2)]
+            )
+        series[name] = (ns, ds, rounds)
+    print_table(
+        ["family", "n", "D(2approx)", "rounds", "rounds/(D*log n)"],
+        rows,
+        title="E1: headline round complexity (Theorem 1.1)",
+    )
+    return series
+
+
+def test_e1_headline(run_once):
+    series = run_once(run_experiment)
+    ok = True
+    for name, (ns, ds, rounds) in series.items():
+        ratios = bound_ratios(rounds, ns, ds)
+        spread = max(ratios) / min(ratios)
+        fit = fit_power_law(ns, rounds)
+        ok &= verdict(
+            f"E1/{name}: rounds ~ D*min(log n, D)",
+            spread < 3.0 and fit.exponent < 0.85,
+            f"bound-ratio spread {spread:.2f}, n-exponent {fit.exponent:.2f}",
+        )
+    assert ok

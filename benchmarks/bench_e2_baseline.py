@@ -1,0 +1,56 @@
+"""E2 — algorithm vs the trivial O(n) baseline (paper footnote 2).
+
+Who wins, by what factor, and where the crossover falls.  On
+D = Theta(sqrt n) families the baseline's Theta(n) gather loses to the
+O(D log n) algorithm once n passes a few hundred, and the advantage
+factor keeps growing with n — the reason the paper's program exists.
+"""
+
+from repro import distributed_planar_embedding, trivial_baseline_embedding
+from repro.analysis import fit_power_law, print_table, verdict
+from repro.planar.generators import grid_graph
+
+
+def run_experiment():
+    rows = []
+    ns, alg_rounds, base_rounds = [], [], []
+    for k in (6, 9, 13, 19, 27, 38):
+        g = grid_graph(k, k)
+        alg = distributed_planar_embedding(g)
+        base = trivial_baseline_embedding(g)
+        ns.append(g.num_nodes)
+        alg_rounds.append(alg.rounds)
+        base_rounds.append(base.rounds)
+        rows.append(
+            [g.num_nodes, alg.rounds, base.rounds,
+             round(base.rounds / alg.rounds, 2)]
+        )
+    print_table(
+        ["n", "algorithm", "baseline", "baseline/algorithm"],
+        rows,
+        title="E2: Theorem 1.1 vs the trivial gather-everything baseline (grids)",
+    )
+    return ns, alg_rounds, base_rounds
+
+
+def test_e2_baseline(run_once):
+    ns, alg_rounds, base_rounds = run_once(run_experiment)
+    base_fit = fit_power_law(ns, base_rounds)
+    alg_fit = fit_power_law(ns, alg_rounds)
+    ok = verdict(
+        "E2: baseline grows ~linearly in n",
+        0.85 <= base_fit.exponent <= 1.15,
+        f"exponent {base_fit.exponent:.2f}",
+    )
+    ok &= verdict(
+        "E2: algorithm grows strictly slower",
+        alg_fit.exponent <= base_fit.exponent - 0.2,
+        f"{alg_fit.exponent:.2f} vs {base_fit.exponent:.2f}",
+    )
+    ok &= verdict(
+        "E2: algorithm wins at scale with a growing factor",
+        alg_rounds[-1] < base_rounds[-1]
+        and base_rounds[-1] / alg_rounds[-1] > base_rounds[2] / alg_rounds[2],
+        f"final factor {base_rounds[-1] / alg_rounds[-1]:.1f}x",
+    )
+    assert ok

@@ -1,0 +1,47 @@
+"""E3 — the Omega(D) lower-bound family (paper footnote 1).
+
+K4 subdivisions force Omega(D) rounds: the four degree-3 branch vertices
+sit Theta(D) apart yet must output *consistent* clockwise orders.  We
+sweep the subdivision length and check that (a) measured rounds grow
+~linearly in D — the algorithm cannot do better than the lower bound —
+and (b) they stay within the O(D * min(log n, D)) envelope, i.e. the
+ratio rounds/D stays within an O(log n) band of the optimum.
+"""
+
+from repro import distributed_planar_embedding
+from repro.analysis import fit_power_law, print_table, verdict
+from repro.planar.generators import k4_subdivision
+
+
+def run_experiment():
+    rows, ds, rounds = [], [], []
+    for segments in (4, 8, 16, 32, 64):
+        g = k4_subdivision(segments)
+        result = distributed_planar_embedding(g)
+        d = 2 * result.bfs_depth
+        ds.append(d)
+        rounds.append(result.rounds)
+        rows.append([segments, g.num_nodes, d, result.rounds, round(result.rounds / d, 2)])
+    print_table(
+        ["segments", "n", "D(2approx)", "rounds", "rounds/D"],
+        rows,
+        title="E3: K4-subdivision lower-bound graphs (footnote 1)",
+    )
+    return ds, rounds
+
+
+def test_e3_lowerbound(run_once):
+    ds, rounds = run_once(run_experiment)
+    fit = fit_power_law(ds, rounds)
+    ok = verdict(
+        "E3: rounds grow ~linearly in D on the lower-bound family",
+        0.75 <= fit.exponent <= 1.3,
+        f"D-exponent {fit.exponent:.2f}",
+    )
+    ratios = [r / d for r, d in zip(rounds, ds)]
+    ok &= verdict(
+        "E3: rounds/D bounded (within the log-n envelope of the Omega(D) bound)",
+        max(ratios) <= 40,
+        f"max rounds/D = {max(ratios):.1f}",
+    )
+    assert ok

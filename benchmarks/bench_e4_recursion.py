@@ -1,0 +1,59 @@
+"""E4 — Lemma 4.3: recursion depth <= min(O(log n), D).
+
+Across families with very different diameters the measured recursion
+depth must stay below log_{3/2}(n) + O(1) *and* below the BFS-tree
+depth + O(1) (the D side of the min: a subtree of depth d cannot recurse
+deeper than d times, since every level strictly peels the tree).
+"""
+
+import math
+
+from repro import distributed_planar_embedding
+from repro.analysis import print_table, verdict
+from repro.planar.generators import (
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_maximal_planar,
+    random_tree,
+)
+
+
+def run_experiment():
+    rows = []
+    data = []
+    for name, g in [
+        ("grid20", grid_graph(20, 20)),
+        ("grid30", grid_graph(30, 30)),
+        ("maximal400", random_maximal_planar(400, 3)),
+        ("path300", path_graph(300)),
+        ("cycle300", cycle_graph(300)),
+        ("tree500", random_tree(500, 5)),
+    ]:
+        result = distributed_planar_embedding(g)
+        n = g.num_nodes
+        log_bound = math.log(n, 1.5) + 2
+        rows.append(
+            [name, n, 2 * result.bfs_depth, result.recursion_depth,
+             round(log_bound, 1)]
+        )
+        data.append((n, result.bfs_depth, result.recursion_depth, log_bound))
+    print_table(
+        ["family", "n", "D(2approx)", "recursion depth", "log_1.5(n)+2"],
+        rows,
+        title="E4: recursion depth vs the Lemma 4.3 bound",
+    )
+    return data
+
+
+def test_e4_recursion_depth(run_once):
+    data = run_once(run_experiment)
+    ok = True
+    for n, bfs_depth, depth, log_bound in data:
+        ok &= depth <= log_bound
+        ok &= depth <= bfs_depth + 2
+    assert verdict(
+        "E4: recursion depth <= min(O(log n), D) on every family",
+        ok,
+        f"max measured depth {max(d for _, _, d, _ in data)}",
+    )

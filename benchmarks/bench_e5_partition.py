@@ -1,0 +1,54 @@
+"""E5 — Lemma 4.2: part sizes <= 2|T_s|/3 and part diameter <= depth(T_s) - 1.
+
+Audits every recursive call's trace record on several families: the
+hanging parts of each call must obey both bounds.  Part diameter is
+checked through the subtree-depth bound (each part is a BFS subtree
+rooted one level below T_s's root, so its depth is <= depth(T_s) - 1).
+"""
+
+from repro import distributed_planar_embedding
+from repro.analysis import print_table, verdict
+from repro.planar.generators import (
+    cylinder_graph,
+    delaunay_triangulation,
+    grid_graph,
+    random_maximal_planar,
+)
+
+
+def run_experiment():
+    rows = []
+    audits = []
+    for name, g in [
+        ("grid18", grid_graph(18, 18)),
+        ("cylinder8x20", cylinder_graph(8, 20)),
+        ("maximal300", random_maximal_planar(300, 7)),
+        ("delaunay300", delaunay_triangulation(300, 9)[0]),
+    ]:
+        result = distributed_planar_embedding(g)
+        calls = [r for r in result.trace if r.part_sizes]
+        worst_ratio = max(
+            max(sizes) / record.subtree_size
+            for record in calls
+            for sizes in [record.part_sizes]
+        )
+        p0_ok = all(r.p0_length <= r.subtree_depth + 1 for r in calls)
+        rows.append([name, len(calls), round(worst_ratio, 3), p0_ok])
+        audits.append((worst_ratio, p0_ok))
+    print_table(
+        ["family", "recursive calls", "max part/|T_s| ratio", "P0 within depth"],
+        rows,
+        title="E5: partition balance and diameter bounds (Lemma 4.2)",
+    )
+    return audits
+
+
+def test_e5_partition(run_once):
+    audits = run_once(run_experiment)
+    ok = all(ratio <= 2 / 3 + 1e-9 for ratio, _ in audits)
+    ok &= all(p0_ok for _, p0_ok in audits)
+    assert verdict(
+        "E5: every part <= 2|T_s|/3 and every P0 within subtree depth",
+        ok,
+        f"worst ratio {max(r for r, _ in audits):.3f} (bound 0.667)",
+    )

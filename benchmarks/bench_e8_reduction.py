@@ -1,0 +1,67 @@
+"""E8 — Section 5.3: the unrestricted merge reduces to O(|P0|) parts.
+
+The two iterations of low-connection merges, discharges, and symmetry-
+broken star merges must leave each recursive call's final restricted
+merge with at most O(|P0| + 1) participating parts — that is exactly
+what makes the final path-coordinated merge *restricted* and O(D)-round.
+We measure the worst final-instance-to-|P0| ratio over all recursive
+calls on several families.
+"""
+
+from repro import distributed_planar_embedding
+from repro.analysis import print_table, verdict
+from repro.planar.generators import (
+    cylinder_graph,
+    delaunay_triangulation,
+    grid_graph,
+    random_maximal_planar,
+)
+
+
+def run_experiment():
+    rows = []
+    worst_ratios = []
+    for name, g in [
+        ("grid20", grid_graph(20, 20)),
+        ("cylinder8x16", cylinder_graph(8, 16)),
+        ("maximal400", random_maximal_planar(400, 11)),
+        ("delaunay400", delaunay_triangulation(400, 13)[0]),
+    ]:
+        result = distributed_planar_embedding(g)
+        worst = 0.0
+        iter_reductions = []
+        for record in result.trace:
+            stats = record.merge_stats
+            if stats is None or stats.p0_length < 4:
+                # |P0| <= 3 degenerates to a vertex-coordinated merge:
+                # no path congestion exists, so the O(|P0|) precondition
+                # is moot (parts still bounded by the coordinator degree).
+                continue
+            ratio = stats.final_instance_parts / (stats.p0_length + 1)
+            worst = max(worst, ratio)
+            if stats.initial_parts:
+                iter_reductions.append(
+                    stats.parts_after_iteration[-1] / stats.initial_parts
+                    if stats.parts_after_iteration
+                    else 1.0
+                )
+        rows.append(
+            [name, len(result.trace), round(worst, 2),
+             round(sum(iter_reductions) / max(1, len(iter_reductions)), 2)]
+        )
+        worst_ratios.append(worst)
+    print_table(
+        ["family", "recursive calls", "max parts/|P0|", "mean part survival"],
+        rows,
+        title="E8: part-count reduction before the restricted merge",
+    )
+    return worst_ratios
+
+
+def test_e8_reduction(run_once):
+    worst_ratios = run_once(run_experiment)
+    assert verdict(
+        "E8: final merges are restricted (parts = O(|P0|))",
+        max(worst_ratios) <= 4.0,
+        f"max parts/(|P0|+1) = {max(worst_ratios):.2f}",
+    )

@@ -1,0 +1,61 @@
+"""E9 — the CONGEST discipline and the paper's information-theoretic claim.
+
+Section 1.2, claim (I): "no pair of adjacent nodes needs to exchange
+omega~(D) bits".  We check two measured quantities:
+
+* real message passing never exceeds the per-edge word budget in any
+  round (the simulator enforces B = O(log n) bits; here we report the
+  max actually used), and
+* the *total* communicated volume per edge — all charged words divided
+  by the number of edges — stays O~(D) rather than Theta(n).
+"""
+
+import math
+
+from repro import distributed_planar_embedding
+from repro.analysis import fit_power_law, print_table, verdict
+from repro.planar.generators import grid_graph
+
+
+def run_experiment():
+    rows = []
+    ns, ds, per_edge = [], [], []
+    max_edge_words = 0
+    for k in (8, 12, 17, 24, 34):
+        g = grid_graph(k, k)
+        result = distributed_planar_embedding(g)
+        m = result.metrics
+        volume = m.total_words / g.num_edges
+        d = 2 * result.bfs_depth
+        ns.append(g.num_nodes)
+        ds.append(d)
+        per_edge.append(volume)
+        max_edge_words = max(max_edge_words, m.max_words_edge_round)
+        rows.append(
+            [g.num_nodes, d, m.max_words_edge_round, round(volume, 1),
+             round(volume / (d * math.log2(g.num_nodes)), 3)]
+        )
+    print_table(
+        ["n", "D(2approx)", "max words/edge/round", "words/edge total",
+         "vs D*log n"],
+        rows,
+        title="E9: bandwidth discipline and per-edge information volume",
+    )
+    return ns, ds, per_edge, max_edge_words
+
+
+def test_e9_bandwidth(run_once):
+    ns, ds, per_edge, max_edge_words = run_once(run_experiment)
+    ok = verdict(
+        "E9: real messages within O(log n) bits per edge per round",
+        max_edge_words <= 8,
+        f"max {max_edge_words} words in one (edge, round)",
+    )
+    # total per-edge volume must track D (=sqrt n on grids), not n
+    fit = fit_power_law(ns, per_edge)
+    ok &= verdict(
+        "E9: per-edge total volume grows like D, not like n",
+        fit.exponent <= 0.8,
+        f"n-exponent {fit.exponent:.2f} (1.0 would be Theta(n))",
+    )
+    assert ok

@@ -1,0 +1,25 @@
+"""Shared helpers for the experiment benches (E1-E13).
+
+Each bench runs its experiment once under pytest-benchmark (timing the
+whole sweep), prints the table of the series it reproduces — the
+stand-in for the corresponding figure in EXPERIMENTS.md — and asserts
+the claimed *shape* (who wins, what exponent, which bound holds).
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+sys.setrecursionlimit(100_000)  # deep recursions in the E12 ablation
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run ``fn`` exactly once under the benchmark timer."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

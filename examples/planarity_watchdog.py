@@ -1,0 +1,53 @@
+"""Planarity watchdog: the embedding algorithm as a distributed test.
+
+A planar overlay (say, a mesh whose routing relies on face traversal)
+must stay planar as links are added.  Because the Ghaffari-Haeupler
+algorithm *detects* non-planarity while it runs, it doubles as a
+distributed planarity test at O(D * min(log n, D)) rounds — much cheaper
+than shipping the topology to a coordinator when the network is wide.
+
+This example grows a random planar overlay link by link; after each
+batch it re-runs the embedding.  The batch that creates a K5/K3,3-like
+entanglement is rejected.
+
+    python examples/planarity_watchdog.py
+"""
+
+import random
+
+from repro import NonPlanarNetworkError, distributed_planar_embedding
+from repro.planar.generators import random_planar
+
+
+def main() -> None:
+    rng = random.Random(7)
+    graph = random_planar(60, 80, seed=3)
+    print(f"overlay: n={graph.num_nodes}, m={graph.num_edges} (planar)")
+
+    accepted, rejected = 0, 0
+    for step in range(40):
+        u = rng.randrange(60)
+        v = rng.randrange(60)
+        if u == v or graph.has_edge(u, v):
+            continue
+        graph.add_edge(u, v)
+        try:
+            result = distributed_planar_embedding(graph)
+            accepted += 1
+            print(f"  +({u:2d},{v:2d})  accepted   "
+                  f"m={graph.num_edges:3d}  rounds={result.rounds}")
+        except NonPlanarNetworkError:
+            graph.remove_edge(u, v)
+            rejected += 1
+            print(f"  +({u:2d},{v:2d})  REJECTED — would break planarity")
+
+    print(f"\n{accepted} links accepted, {rejected} rejected; "
+          f"final overlay m={graph.num_edges} — still planar, "
+          "face routing stays safe")
+    result = distributed_planar_embedding(graph)
+    print(f"final embedding verified: genus "
+          f"{result.rotation_system.genus()}, rounds {result.rounds}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Scaling fits and table formatting for the experiment harness."""
+
+from .complexity import (
+    PowerFit,
+    bound_ratios,
+    fit_power_law,
+    geometric_sizes,
+    headline_bound,
+)
+from .tables import format_table, print_table, verdict
+
+__all__ = [
+    "PowerFit",
+    "fit_power_law",
+    "bound_ratios",
+    "headline_bound",
+    "geometric_sizes",
+    "format_table",
+    "print_table",
+    "verdict",
+]

@@ -1,0 +1,80 @@
+"""Scaling analysis helpers for the experiment harness.
+
+The paper's claims are asymptotic; the benchmarks check *shapes*:
+log-log slopes (is the round count growing like n or like sqrt(n)·log n?)
+and bound ratios (is rounds / (D·min(log n, D)) bounded by a constant?).
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = ["PowerFit", "fit_power_law", "bound_ratios", "headline_bound", "geometric_sizes"]
+
+
+@dataclass(frozen=True)
+class PowerFit:
+    """A least-squares fit of ``y = c * x^alpha`` in log-log space."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.coefficient * x**self.exponent
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> PowerFit:
+    """Fit ``y ~ c * x^alpha`` by linear regression on logs."""
+    if len(xs) != len(ys) or len(xs) < 2:
+        raise ValueError("need at least two (x, y) pairs")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fits need positive data")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    n = len(lx)
+    mx = sum(lx) / n
+    my = sum(ly) / n
+    sxx = sum((a - mx) ** 2 for a in lx)
+    sxy = sum((a - mx) * (b - my) for a, b in zip(lx, ly))
+    if sxx == 0:
+        raise ValueError("x values are all equal")
+    alpha = sxy / sxx
+    logc = my - alpha * mx
+    ss_tot = sum((b - my) ** 2 for b in ly)
+    ss_res = sum(
+        (b - (logc + alpha * a)) ** 2 for a, b in zip(lx, ly)
+    )
+    r2 = 1.0 - (ss_res / ss_tot if ss_tot > 0 else 0.0)
+    return PowerFit(exponent=alpha, coefficient=math.exp(logc), r_squared=r2)
+
+
+def headline_bound(n: int, diameter: int) -> float:
+    """The Theorem 1.1 quantity ``D * min(log2 n, D)`` (>= 1)."""
+    if n < 2:
+        return 1.0
+    return max(1.0, diameter * min(math.log2(n), diameter))
+
+
+def bound_ratios(
+    rounds: Sequence[int], ns: Sequence[int], diameters: Sequence[int]
+) -> list[float]:
+    """``rounds / (D * min(log n, D))`` per data point."""
+    return [
+        r / headline_bound(n, d) for r, n, d in zip(rounds, ns, diameters)
+    ]
+
+
+def geometric_sizes(start: int, stop: int, steps: int) -> list[int]:
+    """``steps`` roughly geometric integer sizes from ``start`` to ``stop``."""
+    if steps < 2 or start < 1 or stop <= start:
+        raise ValueError("need steps >= 2 and 1 <= start < stop")
+    ratio = (stop / start) ** (1 / (steps - 1))
+    sizes = []
+    for i in range(steps):
+        s = round(start * ratio**i)
+        if not sizes or s > sizes[-1]:
+            sizes.append(s)
+    return sizes

@@ -1,0 +1,51 @@
+"""Aligned text tables for the benchmark harness output.
+
+Every experiment prints the series it reproduces in the same way the
+paper would report a table: a header, aligned rows, and a one-line
+verdict comparing the measured shape against the claimed one.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "print_table", "verdict"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render an aligned monospace table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)
+
+
+def print_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> None:
+    print()
+    print(format_table(headers, rows, title))
+
+
+def verdict(name: str, ok: bool, detail: str = "") -> bool:
+    """Print and return a pass/fail verdict line for an experiment."""
+    mark = "REPRODUCED" if ok else "NOT REPRODUCED"
+    line = f"[{mark}] {name}"
+    if detail:
+        line += f" — {detail}"
+    print(line)
+    return ok

@@ -1,0 +1,39 @@
+"""The CONGEST model simulator (synchronous message passing, O(log n)-bit messages)."""
+
+from .errors import (
+    BandwidthExceededError,
+    CongestError,
+    ProtocolViolationError,
+    RoundLimitExceededError,
+)
+from .message import payload_bits, payload_words, word_bits
+from .metrics import Charge, RoundMetrics
+from .network import CongestNetwork, run_program
+from .node import NodeProgram
+from .pipelining import (
+    aggregate_rounds,
+    broadcast_rounds,
+    convergecast_rounds,
+    gather_scatter_rounds,
+    stream_rounds,
+)
+
+__all__ = [
+    "CongestNetwork",
+    "NodeProgram",
+    "RoundMetrics",
+    "Charge",
+    "run_program",
+    "payload_words",
+    "payload_bits",
+    "word_bits",
+    "stream_rounds",
+    "convergecast_rounds",
+    "broadcast_rounds",
+    "aggregate_rounds",
+    "gather_scatter_rounds",
+    "CongestError",
+    "BandwidthExceededError",
+    "RoundLimitExceededError",
+    "ProtocolViolationError",
+]

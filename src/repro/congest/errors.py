@@ -1,0 +1,26 @@
+"""Exceptions raised by the CONGEST simulator."""
+
+from __future__ import annotations
+
+__all__ = [
+    "CongestError",
+    "BandwidthExceededError",
+    "RoundLimitExceededError",
+    "ProtocolViolationError",
+]
+
+
+class CongestError(RuntimeError):
+    """Base class for simulator failures."""
+
+
+class BandwidthExceededError(CongestError):
+    """A node tried to push more than ``B = O(log n)`` bits over one edge in one round."""
+
+
+class RoundLimitExceededError(CongestError):
+    """An execution did not quiesce within the configured round budget."""
+
+
+class ProtocolViolationError(CongestError):
+    """A node program misbehaved (sent to a non-neighbor, etc.)."""

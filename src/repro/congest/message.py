@@ -1,0 +1,57 @@
+"""Message payloads and their CONGEST size accounting.
+
+The CONGEST model allows one ``O(log n)``-bit message per edge per round.
+We account sizes in *words*, where one word is ``ceil(log2(n+1)) + 2``
+bits — enough for a node identifier, a small tag, or a bounded counter.
+A payload is measured by recursively flattening it into atoms:
+
+* ``None``/booleans: tag only (counted as one atom, conservatively),
+* integers: one word per ``word_bits`` chunk of their magnitude,
+* strings (protocol tags): one word per 4 characters (conservative),
+* tuples/lists: the sum of their items.
+
+This is intentionally a *conservative over-estimate*: the experiments that
+check the bandwidth discipline (E9) use these measured sizes, so erring on
+the large side only makes the reproduced claims harder to satisfy.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["word_bits", "payload_words", "payload_bits"]
+
+
+def word_bits(n: int) -> int:
+    """Bits in one CONGEST word for an ``n``-node network."""
+    if n < 1:
+        raise ValueError("network must have at least one node")
+    return max(1, math.ceil(math.log2(n + 1))) + 2
+
+
+def payload_words(payload: object, bits_per_word: int = 32) -> int:
+    """Measure a payload in words (see module docstring)."""
+    if payload is None or isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        magnitude_bits = max(1, payload.bit_length()) + 1  # +1 sign
+        return max(1, math.ceil(magnitude_bits / bits_per_word))
+    if isinstance(payload, float):
+        return max(1, math.ceil(64 / bits_per_word))
+    if isinstance(payload, str):
+        return max(1, math.ceil(len(payload) / 4))
+    if isinstance(payload, (tuple, list, frozenset, set)):
+        items = sorted(payload, key=repr) if isinstance(payload, (set, frozenset)) else payload
+        return sum(payload_words(item, bits_per_word) for item in items)
+    if isinstance(payload, dict):
+        return sum(
+            payload_words(k, bits_per_word) + payload_words(v, bits_per_word)
+            for k, v in payload.items()
+        )
+    raise TypeError(f"unsupported payload type for CONGEST accounting: {type(payload)!r}")
+
+
+def payload_bits(payload: object, n: int) -> int:
+    """Measure a payload in bits, for an ``n``-node network's word size."""
+    bits = word_bits(n)
+    return payload_words(payload, bits) * bits

@@ -1,0 +1,103 @@
+"""Round/message/bandwidth ledgers.
+
+Every execution — real message passing and cost-model charges alike —
+flows through one :class:`RoundMetrics` ledger, so the experiment harness
+can report a single, auditable round count per run, broken down by phase
+(the provenance of every charged cost is retained).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Charge", "RoundMetrics"]
+
+
+@dataclass(frozen=True)
+class Charge:
+    """One accounted cost item with its provenance."""
+
+    phase: str
+    rounds: int
+    words: int = 0
+    detail: str = ""
+
+
+@dataclass
+class RoundMetrics:
+    """Aggregated execution costs for one distributed run."""
+
+    rounds: int = 0
+    messages: int = 0
+    total_words: int = 0
+    max_words_edge_round: int = 0
+    charges: list[Charge] = field(default_factory=list)
+    phase_rounds: dict[str, int] = field(default_factory=dict)
+
+    # -- real execution ----------------------------------------------------
+
+    def record_round(self, messages: int, words: int, max_edge_words: int) -> None:
+        """Record one synchronous round of real message passing."""
+        self.rounds += 1
+        self.messages += messages
+        self.total_words += words
+        self.max_words_edge_round = max(self.max_words_edge_round, max_edge_words)
+
+    # -- cost-model charges --------------------------------------------------
+
+    def charge(self, phase: str, rounds: int, words: int = 0, detail: str = "") -> None:
+        """Charge ``rounds`` rounds (and ``words`` words of traffic) to ``phase``.
+
+        Used for operations the paper's Remark 1 declares standard
+        (pipelined upcast/downcast inside a part); ``rounds`` must be the
+        exact pipelined cost computed from measured depths and measured
+        payload sizes — see :mod:`repro.congest.pipelining`.
+        """
+        if rounds < 0:
+            raise ValueError("cannot charge negative rounds")
+        self.rounds += rounds
+        self.total_words += words
+        self.charges.append(Charge(phase, rounds, words, detail))
+        self.phase_rounds[phase] = self.phase_rounds.get(phase, 0) + rounds
+
+    def tag_phase(self, phase: str, rounds: int) -> None:
+        """Attribute already-recorded real rounds to a named phase."""
+        self.phase_rounds[phase] = self.phase_rounds.get(phase, 0) + rounds
+
+    # -- composition ----------------------------------------------------------
+
+    def absorb_parallel(self, branches: list["RoundMetrics"], phase: str) -> None:
+        """Absorb independent parallel executions: rounds = max, traffic = sum.
+
+        This models disjoint parts running concurrently (the heart of the
+        divide-and-conquer efficiency argument in Section 4).
+        """
+        if not branches:
+            return
+        rounds = max(b.rounds for b in branches)
+        self.rounds += rounds
+        self.phase_rounds[phase] = self.phase_rounds.get(phase, 0) + rounds
+        for b in branches:
+            self.messages += b.messages
+            self.total_words += b.total_words
+            self.max_words_edge_round = max(self.max_words_edge_round, b.max_words_edge_round)
+            self.charges.extend(b.charges)
+
+    def absorb_serial(self, other: "RoundMetrics") -> None:
+        """Absorb a sequentially-executed sub-run: rounds and traffic add."""
+        self.rounds += other.rounds
+        self.messages += other.messages
+        self.total_words += other.total_words
+        self.max_words_edge_round = max(self.max_words_edge_round, other.max_words_edge_round)
+        self.charges.extend(other.charges)
+        for phase, r in other.phase_rounds.items():
+            self.phase_rounds[phase] = self.phase_rounds.get(phase, 0) + r
+
+    def summary(self) -> str:
+        lines = [
+            f"rounds={self.rounds} messages={self.messages} "
+            f"words={self.total_words} max_edge_words={self.max_words_edge_round}"
+        ]
+        for phase in sorted(self.phase_rounds):
+            lines.append(f"  {phase}: {self.phase_rounds[phase]} rounds")
+        return "\n".join(lines)

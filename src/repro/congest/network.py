@@ -1,0 +1,145 @@
+"""The synchronous CONGEST network simulator.
+
+Implements the model of [Pel00] as used by the paper: communication
+proceeds in synchronous rounds; per round, each node may send one
+``B = O(log n)``-bit message along each incident edge; local computation
+is unbounded.  The simulator delivers messages with one-round latency,
+enforces the bandwidth bound on every (edge, round) pair, and feeds a
+:class:`~repro.congest.metrics.RoundMetrics` ledger.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from typing import Any
+
+from ..planar.graph import Graph, NodeId
+from .errors import BandwidthExceededError, ProtocolViolationError, RoundLimitExceededError
+from .message import payload_words, word_bits
+from .metrics import RoundMetrics
+from .node import NodeProgram
+
+__all__ = ["CongestNetwork", "run_program"]
+
+
+class CongestNetwork:
+    """A CONGEST execution environment over a fixed communication graph."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        bandwidth_words: int = 8,
+        metrics: RoundMetrics | None = None,
+    ) -> None:
+        """Create a network.
+
+        ``bandwidth_words`` is the per-edge per-round message budget in
+        words (one word = ``ceil(log2(n+1)) + 2`` bits); the CONGEST bound
+        ``B = O(log n)`` bits means a constant number of words, and the
+        default constant 8 matches the slack every textbook algorithm
+        assumes.  Exceeding it raises :class:`BandwidthExceededError`.
+        """
+        self.graph = graph
+        self.bandwidth_words = bandwidth_words
+        self.metrics = metrics if metrics is not None else RoundMetrics()
+        self.word_bits = word_bits(max(1, graph.num_nodes))
+
+    def run(
+        self,
+        programs: Mapping[NodeId, NodeProgram],
+        max_rounds: int = 1_000_000,
+        phase: str | None = None,
+    ) -> dict[NodeId, Any]:
+        """Drive ``programs`` to quiescence; return their local results.
+
+        Termination: every program reports ``done`` and no messages are in
+        flight.  The number of rounds consumed is recorded in the metrics
+        ledger (and attributed to ``phase`` when given).
+        """
+        if set(programs) != set(self.graph.nodes()):
+            raise ProtocolViolationError("programs must cover exactly the graph's nodes")
+
+        in_flight: dict[NodeId, dict[NodeId, Any]] = {v: {} for v in programs}
+        pending = 0
+        rounds_used = 0
+
+        # Round 1 sends: on_start.
+        outboxes = {v: programs[v].on_start() for v in programs}
+        pending = self._post(outboxes, in_flight)
+        if pending:
+            rounds_used += 1
+            self._account(outboxes)
+
+        round_no = 1
+        while True:
+            if all(programs[v].done for v in programs) and pending == 0:
+                break
+            if round_no > max_rounds:
+                raise RoundLimitExceededError(f"no quiescence within {max_rounds} rounds")
+            round_no += 1
+            inboxes = in_flight
+            in_flight = {v: {} for v in programs}
+            outboxes = {}
+            for v in programs:
+                inbox = inboxes[v]
+                outboxes[v] = programs[v].on_round(round_no, inbox) or {}
+            pending = self._post(outboxes, in_flight)
+            if pending:
+                # A CONGEST round bundles send + receive; an iteration in
+                # which nothing is sent only consumes local computation.
+                rounds_used += 1
+                self._account(outboxes)
+
+        if phase is not None:
+            self.metrics.tag_phase(phase, rounds_used)
+        return {v: programs[v].result() for v in programs}
+
+    # -- internals -------------------------------------------------------
+
+    def _post(
+        self,
+        outboxes: Mapping[NodeId, Mapping[NodeId, Any]],
+        in_flight: dict[NodeId, dict[NodeId, Any]],
+    ) -> int:
+        pending = 0
+        for sender, outbox in outboxes.items():
+            for receiver, payload in outbox.items():
+                if not self.graph.has_edge(sender, receiver):
+                    raise ProtocolViolationError(
+                        f"{sender!r} tried to send to non-neighbor {receiver!r}"
+                    )
+                words = payload_words(payload, self.word_bits)
+                if words > self.bandwidth_words:
+                    raise BandwidthExceededError(
+                        f"{sender!r}->{receiver!r}: {words} words exceeds "
+                        f"bandwidth {self.bandwidth_words}"
+                    )
+                in_flight[receiver][sender] = payload
+                pending += 1
+        return pending
+
+    def _account(self, outboxes: Mapping[NodeId, Mapping[NodeId, Any]]) -> None:
+        messages = 0
+        words = 0
+        max_edge = 0
+        for sender, outbox in outboxes.items():
+            for receiver, payload in outbox.items():
+                w = payload_words(payload, self.word_bits)
+                messages += 1
+                words += w
+                max_edge = max(max_edge, w)
+        self.metrics.record_round(messages, words, max_edge)
+
+
+def run_program(
+    graph: Graph,
+    factory: Callable[[NodeId, list[NodeId]], NodeProgram],
+    bandwidth_words: int = 8,
+    metrics: RoundMetrics | None = None,
+    max_rounds: int = 1_000_000,
+    phase: str | None = None,
+) -> dict[NodeId, Any]:
+    """Convenience wrapper: instantiate one program per node and run."""
+    network = CongestNetwork(graph, bandwidth_words=bandwidth_words, metrics=metrics)
+    programs = {v: factory(v, graph.neighbors(v)) for v in graph.nodes()}
+    return network.run(programs, max_rounds=max_rounds, phase=phase)

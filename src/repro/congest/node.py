@@ -1,0 +1,47 @@
+"""Node programs: the per-node half of the CONGEST model.
+
+A :class:`NodeProgram` is instantiated once per vertex and driven by
+:class:`repro.congest.network.CongestNetwork`.  Per synchronous round the
+program receives the messages its neighbors sent in the previous round
+and returns the messages to send this round (at most one per incident
+edge, each at most ``B`` bits — the network enforces the bound).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..planar.graph import NodeId
+
+__all__ = ["NodeProgram"]
+
+
+class NodeProgram:
+    """Base class for per-node CONGEST programs.
+
+    Subclasses implement :meth:`on_round` and typically set ``self.done``
+    once their local output is fixed.  An execution terminates when every
+    program reports ``done`` *and* no messages are in flight (quiescence),
+    so round counts are emergent rather than asserted.
+    """
+
+    def __init__(self, node_id: NodeId, neighbors: list[NodeId]) -> None:
+        self.node_id = node_id
+        self.neighbors = list(neighbors)
+        self.done = False
+
+    def on_start(self) -> dict[NodeId, Any]:
+        """Messages to send in round 1 (before anything is received)."""
+        return {}
+
+    def on_round(self, round_no: int, inbox: dict[NodeId, Any]) -> dict[NodeId, Any]:
+        """Handle round ``round_no``'s inbox; return this round's outbox.
+
+        ``inbox`` maps sender -> payload for each message received.  The
+        returned dict maps receiver (a neighbor) -> payload.
+        """
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        """The program's local output after termination."""
+        return None

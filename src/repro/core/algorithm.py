@@ -1,0 +1,230 @@
+"""The distributed planar embedding algorithm (paper Theorem 1.1).
+
+``DistributedPlanarEmbedding`` drives the whole pipeline on a CONGEST
+simulation of the input network:
+
+1. elect the max-ID vertex ``s*`` by real max-ID flooding (O(D) rounds);
+2. build the global BFS tree ``T`` rooted at ``s*`` (O(D) rounds) — this
+   also gives every node ``n`` and a 2-approximation of ``D`` (paper
+   Section 2);
+3. run the recursive embedding order of Section 4 over ``T``'s subtrees,
+   with the Section 5 merges; round costs are real where primitives run
+   as node programs and exact pipelined charges elsewhere (DESIGN.md §3);
+4. expand the split-off copies back into their primaries and unwrap;
+5. verify the result: the per-vertex clockwise orders must form a genus-0
+   rotation system of the *original* graph.
+
+The output matches the paper's distributed output format: a clockwise
+cyclic order of incident edges for every vertex, consistent with one
+fixed planar drawing of the network.  Non-planar inputs raise
+:class:`NonPlanarNetworkError` — the algorithm doubles as a distributed
+planarity test.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..congest.metrics import RoundMetrics
+from ..planar.graph import Graph, NodeId, edge_id
+from ..planar.rotation import RotationSystem
+from ..planar.verify import verify_planar_embedding
+from ..primitives.aggregation import tree_aggregate, tree_broadcast
+from ..primitives.bfs import BfsTree, build_bfs_tree
+from ..primitives.leader import elect_leader
+from .assembly import expand_copies
+from .parts import NonPlanarNetworkError
+from .recursion import CallRecord, RecursionContext, embed_subtree
+
+__all__ = ["EmbeddingResult", "DistributedPlanarEmbedding", "distributed_planar_embedding"]
+
+
+@dataclass
+class EmbeddingResult:
+    """Everything a run produces: the embedding, costs, and audit data."""
+
+    graph: Graph
+    rotation: dict[NodeId, tuple]  # per-vertex clockwise neighbor order
+    rotation_system: RotationSystem
+    metrics: RoundMetrics
+    trace: list[CallRecord] = field(default_factory=list)
+    leader: NodeId | None = None
+    bfs_depth: int = 0
+    known_n: int = 0  # what every node learned in the Section 2 preamble
+    diameter_upper: int = 0  # the 2-approximation of D (2 * ecc(s*))
+
+    @property
+    def rounds(self) -> int:
+        return self.metrics.rounds
+
+    @property
+    def recursion_depth(self) -> int:
+        return max((r.level for r in self.trace), default=0) + 1
+
+    @property
+    def merge_fallbacks(self) -> int:
+        return sum(
+            r.merge_stats.merge_fallbacks for r in self.trace if r.merge_stats is not None
+        )
+
+
+def _wrap(graph: Graph) -> Graph:
+    wrapped = Graph()
+    for v in graph.nodes():
+        wrapped.add_node(("v", v))
+    for u, v in graph.edges():
+        wrapped.add_edge(("v", u), ("v", v))
+    return wrapped
+
+
+class DistributedPlanarEmbedding:
+    """Configure and run the distributed planar embedding algorithm."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        bandwidth_words: int = 1,
+        verify: bool = True,
+        splitter_strategy: str = "balanced",
+    ) -> None:
+        """``bandwidth_words`` is the per-edge word budget used in the
+        pipelined round charges (CONGEST's ``O(log n)`` bits = O(1)
+        words; 1 is the strictest reading).  ``splitter_strategy``
+        selects the paper's 2/3-balanced splitter ("balanced") or the
+        naive root split ("root") used by the E12 ablation."""
+        if graph.num_nodes == 0:
+            raise ValueError("cannot embed an empty network")
+        if not graph.is_connected():
+            raise ValueError("the network must be connected")
+        self.graph = graph
+        self.bandwidth_words = bandwidth_words
+        self.verify = verify
+        self.splitter_strategy = splitter_strategy
+        self.last_metrics: RoundMetrics | None = None  # set by run(), kept on failure
+
+    def run(self) -> EmbeddingResult:
+        from .parts import reset_part_ids
+        from .unrestricted import reset_copy_serials
+
+        reset_part_ids()
+        reset_copy_serials()
+        graph = self.graph
+        metrics = RoundMetrics()
+        self.last_metrics = metrics
+        if graph.num_nodes == 1:
+            (v,) = graph.nodes()
+            rotation = {v: ()}
+            return EmbeddingResult(
+                graph=graph,
+                rotation=rotation,
+                rotation_system=RotationSystem(graph, rotation),
+                metrics=metrics,
+                leader=v,
+            )
+
+        wrapped = _wrap(graph)
+
+        # Phase 1-2: leader election + BFS, as real node programs; then
+        # the Section 2 preamble — every node learns n and a
+        # 2-approximation of D by one convergecast + one broadcast.
+        leader = elect_leader(wrapped, metrics=metrics)
+        tree: BfsTree = build_bfs_tree(wrapped, leader, metrics=metrics)
+        known_n, known_ecc = self._preamble(wrapped, tree, metrics)
+
+        # Phase 3: the recursive embedding order.
+        ctx = RecursionContext(
+            graph=wrapped,
+            tree=tree,
+            bandwidth=self.bandwidth_words,
+            splitter_strategy=self.splitter_strategy,
+        )
+        part, recursion_metrics = embed_subtree(ctx, leader, level=0)
+        metrics.absorb_serial(recursion_metrics)
+        if part.boundary:  # pragma: no cover - invariant
+            raise AssertionError("top-level part still has half-embedded edges")
+
+        # Phase 4: contract split-off copies, unwrap to original IDs.
+        final_graph, final_order = expand_copies(
+            part.graph, part.internal_rotations()
+        )
+        expected = {edge_id(u, v) for u, v in wrapped.edges()}
+        got = {edge_id(u, v) for u, v in final_graph.edges()}
+        if expected != got:  # pragma: no cover - invariant
+            raise AssertionError("copy expansion did not restore the network")
+        rotation = {
+            v[1]: tuple(u[1] for u in final_order[v]) for v in final_graph.nodes()
+        }
+
+        # Phase 5: verification (Edmonds/Euler referee).
+        system = (
+            verify_planar_embedding(graph, rotation)
+            if self.verify
+            else RotationSystem(graph, rotation)
+        )
+        return EmbeddingResult(
+            graph=graph,
+            rotation=rotation,
+            rotation_system=system,
+            metrics=metrics,
+            trace=ctx.trace,
+            leader=leader[1],
+            bfs_depth=tree.depth,
+            known_n=known_n,
+            diameter_upper=2 * known_ecc,
+        )
+
+    @staticmethod
+    def _preamble(
+        wrapped: Graph, tree: BfsTree, metrics: RoundMetrics
+    ) -> tuple[int, int]:
+        """Section 2: all nodes learn n and ecc(s*) (so D <= 2*ecc)."""
+
+        def combine(items):
+            own, _ = items[0]
+            return (own + sum(c for c, _ in items[1:]),
+                    1 + max((h for _, h in items[1:]), default=-1))
+
+        results = tree_aggregate(
+            wrapped,
+            tree.parent,
+            tree.children,
+            {v: (1, 0) for v in wrapped.nodes()},
+            combine,
+            metrics=metrics,
+            phase="preamble",
+        )
+        n, ecc = results[tree.root][0]
+        tree_broadcast(
+            wrapped, tree.parent, tree.children, (n, ecc),
+            metrics=metrics, phase="preamble",
+        )
+        return n, ecc
+
+
+def distributed_planar_embedding(
+    graph: Graph, bandwidth_words: int = 1, verify: bool = True
+) -> EmbeddingResult:
+    """Convenience wrapper around :class:`DistributedPlanarEmbedding`."""
+    return DistributedPlanarEmbedding(
+        graph, bandwidth_words=bandwidth_words, verify=verify
+    ).run()
+
+
+def distributed_planarity_test(
+    graph: Graph, bandwidth_words: int = 1
+) -> tuple[bool, RoundMetrics]:
+    """Decide planarity distributedly; returns (is_planar, round ledger).
+
+    The embedding algorithm *is* the test: a non-planar network makes
+    some merge's arrangement instance non-planar, which the run detects
+    and reports in O(D * min(log n, D)) rounds — the rounds spent before
+    detection are returned either way.
+    """
+    driver = DistributedPlanarEmbedding(
+        graph, bandwidth_words=bandwidth_words, verify=False
+    )
+    try:
+        result = driver.run()
+        return True, result.metrics
+    except NonPlanarNetworkError:
+        return False, driver.last_metrics

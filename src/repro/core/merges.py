@@ -1,0 +1,413 @@
+"""Merging partial embeddings (paper Section 5).
+
+All four merging patterns — pairwise, star, vertex-coordinated and
+(restricted) path-coordinated — share the same information flow, which
+:func:`merge_parts` implements:
+
+1. every part compresses itself to its interface skeleton and ships it
+   toward the coordinator (*gather*; words measured from the actual
+   serialized skeletons);
+2. the coordinator solves the arrangement *locally* (unbounded local
+   computation, the CONGEST allowance): it embeds the union of the
+   skeletons, plus the connecting half-embedded edges between the merging
+   parts, plus a single virtual ``rest`` vertex standing for the
+   connected remainder of the network (the safety property, Figure 1(b));
+3. each part receives the cyclic order its half-embedded edges must take
+   (*scatter*; words measured) and realizes it internally via block
+   flips / permutations (:mod:`repro.core.realize`);
+4. the realized parts and connecting edges assemble into the merged
+   part, which is verified (genus 0, boundary co-facial).
+
+The patterns differ only in *which* paths the gather/scatter traffic
+takes, i.e. in the round charge; the ``charge_*`` helpers compute those
+from measured part depths and payload sizes via the pipelined-cost
+formulas of :mod:`repro.congest.pipelining`.
+
+If skeleton-level solving ever produced an inconsistent assembly (it
+should not — the skeleton captures exactly the Observation 3.2 freedoms,
+and the test-suite checks this), the merge falls back to a direct
+re-embedding of the union, preserving end-to-end correctness; fallbacks
+are counted and reported by the benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..congest.metrics import RoundMetrics
+from ..congest.pipelining import stream_rounds
+from ..planar.graph import Graph, NodeId
+from ..planar.lr_planarity import NonPlanarGraphError, planar_embedding
+from ..planar.rotation import RotationError, RotationSystem, contracted_rotation
+from ..planar.verify import EmbeddingViolation, check_embedding_with_boundary
+from .interface import SkeletonError, interface_skeleton
+from .parts import (
+    HalfEdge,
+    NonPlanarNetworkError,
+    PartEmbedding,
+    augment_with_stubs,
+    embed_with_boundary,
+    graph_depth,
+    is_stub,
+    stub_node,
+)
+from .realize import RealizationError, realize_boundary_order
+
+__all__ = [
+    "MergeResult",
+    "merge_parts",
+    "charge_pairwise_merge",
+    "charge_star_merge",
+    "charge_vertex_coordinated_merge",
+    "charge_path_coordinated_merge",
+]
+
+_REST = ("rest",)
+
+
+@dataclass
+class MergeResult:
+    """The merged part plus the measured communication of the merge."""
+
+    part: PartEmbedding
+    up_words: dict[int, int] = field(default_factory=dict)  # per source part
+    down_words: dict[int, int] = field(default_factory=dict)
+    part_depths: dict[int, int] = field(default_factory=dict)
+    attachment_edges: dict[int, int] = field(default_factory=dict)  # parallel lanes per part
+    fallback_used: bool = False
+
+    @property
+    def total_up(self) -> int:
+        return sum(self.up_words.values())
+
+    @property
+    def total_down(self) -> int:
+        return sum(self.down_words.values())
+
+
+def _union_graph_and_boundary(
+    parts: list[PartEmbedding],
+) -> tuple[Graph, list[HalfEdge], list[tuple[NodeId, NodeId]]]:
+    """The merged graph, its external boundary, and the connecting edges."""
+    owner: dict[NodeId, int] = {}
+    for p in parts:
+        for v in p.graph.nodes():
+            if v in owner:
+                raise ValueError(f"parts are not disjoint at {v!r}")
+            owner[v] = p.part_id
+    union = Graph()
+    for p in parts:
+        for v in p.graph.nodes():
+            union.add_node(v)
+        for u, v in p.graph.edges():
+            union.add_edge(u, v)
+    connecting: list[tuple[NodeId, NodeId]] = []
+    seen: set[tuple] = set()
+    new_boundary: list[HalfEdge] = []
+    for p in parts:
+        for u, x in p.boundary:
+            if x in owner:
+                key = (u, x) if repr(u) < repr(x) else (x, u)
+                if key not in seen:
+                    seen.add(key)
+                    connecting.append(key)
+                    union.add_edge(u, x)
+            else:
+                new_boundary.append((u, x))
+    return union, new_boundary, connecting
+
+
+def _fallback_merge(
+    parts: list[PartEmbedding],
+    union: Graph,
+    new_boundary: list[HalfEdge],
+) -> PartEmbedding:
+    """Correctness-preserving fallback: re-embed the union directly."""
+    rotation = embed_with_boundary(union, new_boundary)
+    return PartEmbedding(
+        part_id=min(p.part_id for p in parts),
+        graph=union,
+        boundary=new_boundary,
+        rotation=rotation,
+        depth=graph_depth(union),
+    )
+
+
+def merge_parts(parts: list[PartEmbedding], verify: bool = True) -> MergeResult:
+    """Merge ``parts`` (>= 1, mutually connected or not) into one part.
+
+    Raises :class:`NonPlanarNetworkError` when no planar arrangement
+    exists.  See the module docstring for the four-step information flow.
+    """
+    if not parts:
+        raise ValueError("nothing to merge")
+    if len(parts) == 1:
+        p = parts[0]
+        return MergeResult(part=p, part_depths={p.part_id: p.depth})
+
+    union, new_boundary, connecting = _union_graph_and_boundary(parts)
+    if not union.is_connected():
+        raise ValueError("merged parts must be connected via half-embedded edges")
+
+    result = MergeResult(part=None)  # type: ignore[arg-type]
+    result.part_depths = {p.part_id: p.depth for p in parts}
+
+    owner_of: dict[NodeId, int] = {v: p.part_id for p in parts for v in p.graph.nodes()}
+    connecting_count: dict[int, int] = {}
+    for p in parts:
+        lanes = sum(
+            1 for _, x in p.boundary if x in owner_of and owner_of[x] != p.part_id
+        )
+        connecting_count[p.part_id] = max(1, lanes)
+    result.attachment_edges = connecting_count
+
+    try:
+        merged = _skeleton_merge(parts, union, new_boundary, connecting, result, verify)
+    except (SkeletonError, RealizationError, EmbeddingViolation, RotationError):
+        # RotationError: a part's out-darts split across faces of the
+        # instance embedding — impossible for partitions satisfying the
+        # safety property (the instance minus any skeleton is connected,
+        # so planarity forces all of a part's neighbors into one face),
+        # but reachable when callers hand us an unsafe partition.
+        merged = None
+    if merged is None:
+        # The skeleton instance was solvable only if the network is
+        # planar; distinguish genuine non-planarity from infidelity by
+        # attempting the direct union embedding.
+        try:
+            merged = _fallback_merge(parts, union, new_boundary)
+        except NonPlanarNetworkError:
+            raise NonPlanarNetworkError(
+                "merged parts admit no planar arrangement: the network is "
+                "non-planar, or the partition violates the safety property "
+                "(Definition 3.1)"
+            ) from None
+        result.fallback_used = True
+    result.part = merged
+    return result
+
+
+def _reduced_summary_words(p: PartEmbedding, connecting_set: set) -> int:
+    """Words of the *merge-relevant* compressed summary of ``p``.
+
+    Following the paper's compressed PQ-trees ("summarizes only essential
+    degrees of freedom", full version §7.1.4), a merge only needs: the
+    part's half-edges participating in this merge, the block structure
+    *between* their attachments, and one token per maximal run of
+    non-participating boundary between consecutive participating slots —
+    the identities inside a run are irrelevant to the coordinator's
+    choice and stay distributed.  This is what actually crosses the
+    (capacity-restricted) coordinator edges; the detailed alignment of a
+    run's own half-edges is settled by the later merge that consumes it.
+    """
+    participating = [h for h in p.boundary if frozenset(h) in connecting_set]
+    if not participating:
+        return 2
+    # runs of non-participating half-edges between participating slots
+    walk = p.boundary_order()
+    runs = 0
+    prev_participating = frozenset(walk[-1]) in connecting_set
+    for h in walk:
+        is_p = frozenset(h) in connecting_set
+        if not is_p and prev_participating:
+            runs += 1
+        prev_participating = is_p
+    reduced = PartEmbedding(
+        part_id=p.part_id,
+        graph=p.graph,
+        boundary=participating,
+        rotation=p.rotation,  # skeleton construction never reads it
+        depth=p.depth,
+    )
+    sk_edges = interface_skeleton(reduced).graph.num_edges
+    return 2 * sk_edges + len(participating) + runs + 1
+
+
+def _skeleton_merge(
+    parts: list[PartEmbedding],
+    union: Graph,
+    new_boundary: list[HalfEdge],
+    connecting: list[tuple[NodeId, NodeId]],
+    result: MergeResult,
+    verify: bool,
+) -> PartEmbedding | None:
+    """The faithful skeleton-based merge; ``None`` when verification fails."""
+    skeletons = {}
+    owner: dict[NodeId, int] = {}
+    connecting_keys = {frozenset(e) for e in connecting}
+    for p in parts:
+        skeletons[p.part_id] = interface_skeleton(p)
+        result.up_words[p.part_id] = _reduced_summary_words(p, connecting_keys)
+        for v in p.graph.nodes():
+            owner[v] = p.part_id
+
+    # The coordinator's instance: skeleton union + connecting edges + rest.
+    instance = Graph()
+    for sk in skeletons.values():
+        for v in sk.graph.nodes():
+            instance.add_node(v)
+        for u, v in sk.graph.edges():
+            instance.add_edge(u, v)
+    for u, x in connecting:
+        instance.add_edge(u, x)
+    external_attachments = sorted({u for u, _ in new_boundary}, key=repr)
+    if external_attachments:
+        instance.add_node(_REST)
+        for u in external_attachments:
+            instance.add_edge(_REST, u)
+    try:
+        instance_rotation = planar_embedding(instance)
+    except NonPlanarGraphError:
+        return None  # resolved by the caller (fallback or non-planar)
+
+    # Prescribe each part's boundary order from the instance arrangement.
+    external_at: dict[NodeId, list[HalfEdge]] = {}
+    for u, x in new_boundary:
+        external_at.setdefault(u, []).append((u, x))
+    for u in external_at:
+        external_at[u].sort(key=repr)
+
+    merged_order: dict[NodeId, tuple] = {}
+    for p in parts:
+        sk = skeletons[p.part_id]
+        walk = contracted_rotation(instance_rotation, set(sk.graph.nodes()))
+        prescribed: list[HalfEdge] = []
+        for a, b in walk:
+            if b == _REST:
+                prescribed.extend(external_at.get(a, []))
+            else:
+                prescribed.append((a, b))
+        # The scatter carries the coordinator's *decisions* — one flip bit
+        # per skeleton block and one slot index per attachment (the
+        # paper's Figure 4 moves); each node then recomputes its own
+        # rotation locally (the Section 3 distributed representation).
+        # That is proportional to the skeleton, not to the boundary.
+        result.down_words[p.part_id] = result.up_words[p.part_id]
+        realized = realize_boundary_order(p, prescribed)
+        # Fold the realized rotations into the merged part, resolving
+        # stubs of connecting edges into real neighbors.
+        connecting_set = {frozenset(e) for e in connecting}
+        for v in p.graph.nodes():
+            ring = []
+            for nb in realized.order(v):
+                if is_stub(nb):
+                    half = (nb[1], nb[2])
+                    if frozenset(half) in connecting_set:
+                        ring.append(half[1])
+                    else:
+                        ring.append(nb)  # still external: keep the stub
+                else:
+                    ring.append(nb)
+            merged_order[v] = tuple(ring)
+
+    merged_graph = union
+    augmented = augment_with_stubs(merged_graph, new_boundary)
+    for h in new_boundary:
+        merged_order[stub_node(h)] = (h[0],)
+    merged_rotation = RotationSystem(augmented, merged_order)
+
+    merged = PartEmbedding(
+        part_id=min(p.part_id for p in parts),
+        graph=merged_graph,
+        boundary=new_boundary,
+        rotation=merged_rotation,
+        depth=graph_depth(merged_graph),
+    )
+    if verify:
+        boundary_stubs = [stub_node(h) for h in new_boundary]
+        check_embedding_with_boundary(merged_rotation, boundary_stubs)
+    return merged
+
+
+# -- round charging for the four merge patterns (Section 5.2) --------------
+
+
+def vertex_coordinated_rounds(result: MergeResult, bandwidth: int = 1) -> int:
+    """Round cost of one vertex-coordinated merge, without charging it.
+
+    Each part pipelines its summary toward the coordinator through *all*
+    of its merge edges in parallel (the interface is stored distributed
+    across the part — paper Section 3 — so disjoint pieces take disjoint
+    lanes): ``depth + ceil(words / lanes)`` rounds per part, all parts
+    concurrently; the decision scatter mirrors the gather.
+    """
+    import math
+
+    def cost(pid: int, words: int) -> int:
+        lanes = result.attachment_edges.get(pid, 1)
+        return stream_rounds(
+            result.part_depths[pid] + 1, math.ceil(words / lanes), bandwidth
+        )
+
+    up = max((cost(pid, w) for pid, w in result.up_words.items()), default=0)
+    down = max((cost(pid, w) for pid, w in result.down_words.items()), default=0)
+    return up + down
+
+
+def charge_pairwise_merge(
+    metrics: RoundMetrics, result: MergeResult, bandwidth: int = 1, detail: str = ""
+) -> int:
+    """Pairwise merge: summaries cross the single connecting edge."""
+    return charge_vertex_coordinated_merge(
+        metrics, result, bandwidth, phase="merge:pairwise", detail=detail
+    )
+
+
+def charge_star_merge(
+    metrics: RoundMetrics, result: MergeResult, bandwidth: int = 1, detail: str = ""
+) -> int:
+    """Star merge: l pairwise merges with a shared center, in parallel.
+
+    Each leaf's exchange with the center is independent (distinct center
+    edges), so the round cost is the max over leaves, exactly why the
+    paper insists star merges parallelize.
+    """
+    return charge_vertex_coordinated_merge(
+        metrics, result, bandwidth, phase="merge:star", detail=detail
+    )
+
+
+def charge_vertex_coordinated_merge(
+    metrics: RoundMetrics,
+    result: MergeResult,
+    bandwidth: int = 1,
+    phase: str = "merge:vertex",
+    detail: str = "",
+) -> int:
+    """Vertex-coordinated merge: every part talks to one coordinator vertex."""
+    rounds = vertex_coordinated_rounds(result, bandwidth)
+    metrics.charge(phase, rounds, result.total_up + result.total_down, detail)
+    return rounds
+
+
+def charge_path_coordinated_merge(
+    metrics: RoundMetrics,
+    result: MergeResult,
+    path_length: int,
+    bandwidth: int = 1,
+    detail: str = "",
+) -> int:
+    """Path-coordinated merge: traffic additionally pipelines along P0.
+
+    Gather: each part reaches its P0 attachment in parallel
+    (depth + words), then all summaries stream along the path to the
+    solving endpoint; scatter mirrors it.
+    """
+    import math
+
+    def cost(pid: int, words: int) -> int:
+        lanes = result.attachment_edges.get(pid, 1)
+        return stream_rounds(
+            result.part_depths[pid] + 1, math.ceil(words / lanes), bandwidth
+        )
+
+    local_up = max((cost(pid, w) for pid, w in result.up_words.items()), default=0)
+    local_down = max((cost(pid, w) for pid, w in result.down_words.items()), default=0)
+    # The along-path backbone coordinates the parts with O(1) words per
+    # part plus the path itself (the per-edge alignment data flows over
+    # the parts' own half-embedded edges, not the path).
+    k = len(result.up_words)
+    along_path = 2 * stream_rounds(max(path_length, 1), 2 * k + 1, bandwidth)
+    rounds = local_up + local_down + along_path
+    metrics.charge("merge:path", rounds, result.total_up + result.total_down, detail)
+    return rounds

@@ -1,0 +1,119 @@
+"""Realizing a prescribed boundary order inside a part.
+
+After a merge coordinator solves the arrangement on the skeletons, each
+part receives the cyclic order its half-embedded edges must take around
+it, and must *realize* that order by re-arranging its internal embedding
+through the allowed interface moves (block flips and permutations around
+cut vertices — Figure 4 of the paper).
+
+The realization uses a constraint gadget: a rim cycle ``c_1..c_m`` (one
+rim vertex per half-edge, in the prescribed cyclic order) with a hub on
+one side, each half-edge's endpoint tied to its rim vertex.  The gadget
+wheel is rigid up to a mirror, so a planar embedding of part+gadget
+exists iff the prescribed order is in the part's interface, and the
+extracted part rotation realizes it.  A final chirality normalization
+mirrors the part if the gadget came out reflected, so that realizations
+from one coordinator are mutually consistent.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from ..planar.lr_planarity import NonPlanarGraphError, planar_embedding
+from ..planar.rotation import RotationSystem
+from .parts import (
+    HalfEdge,
+    PartEmbedding,
+    augment_with_stubs,
+    embed_with_boundary,
+    stub_node,
+)
+
+__all__ = ["RealizationError", "realize_boundary_order", "cyclic_equal"]
+
+
+class RealizationError(RuntimeError):
+    """A prescribed order was not realizable (skeleton infidelity)."""
+
+
+def cyclic_equal(a: Sequence, b: Sequence) -> bool:
+    """True iff ``a`` and ``b`` are equal as cyclic sequences."""
+    if len(a) != len(b):
+        return False
+    if not a:
+        return True
+    la, lb = list(a), list(b)
+    for shift in range(len(lb)):
+        if la == lb[shift:] + lb[:shift]:
+            return True
+    return False
+
+
+def realize_boundary_order(
+    part: PartEmbedding, prescribed: Sequence[HalfEdge]
+) -> RotationSystem:
+    """A rotation of ``part`` whose boundary walk equals ``prescribed``.
+
+    ``prescribed`` must be a permutation of the part's boundary.  Raises
+    :class:`RealizationError` if the order is outside the part's
+    interface (which, when the order came from a faithful skeleton,
+    indicates a bug — the merge layer treats it as a fallback trigger).
+    """
+    if sorted(prescribed, key=repr) != sorted(part.boundary, key=repr):
+        raise ValueError("prescribed order is not a permutation of the boundary")
+    m = len(prescribed)
+    if m <= 2:
+        # Any cyclic order of <= 2 half-edges is the same; any co-facial
+        # embedding (either chirality: a 2-attachment island can mirror
+        # freely) realizes it.
+        return embed_with_boundary(part.graph, part.boundary)
+
+    gadget = part.graph.copy()
+    rim = [("c", i) for i in range(m)]
+    hub = ("ghub",)
+    for i, half_edge in enumerate(prescribed):
+        u, _ = half_edge
+        gadget.add_edge(u, rim[i])
+        gadget.add_edge(rim[i], rim[(i + 1) % m])
+        gadget.add_edge(hub, rim[i])
+    try:
+        rotation = planar_embedding(gadget)
+    except NonPlanarGraphError as exc:
+        raise RealizationError(
+            f"prescribed boundary order of part {part.part_id} is not realizable"
+        ) from exc
+
+    # Extract the part rotation: rim vertex c_i becomes the stub of the
+    # i-th prescribed half-edge.
+    stub_of_rim = {rim[i]: stub_node(prescribed[i]) for i in range(m)}
+    augmented = augment_with_stubs(part.graph, part.boundary)
+    order = {}
+    for v in part.graph.nodes():
+        ring = []
+        for u in rotation.order(v):
+            if u in stub_of_rim:
+                ring.append(stub_of_rim[u])
+            elif u == hub or (isinstance(u, tuple) and len(u) == 2 and u[0] == "c"):
+                continue  # pragma: no cover - rim/hub only touch attachments
+            else:
+                ring.append(u)
+        order[v] = tuple(ring)
+    for half_edge in part.boundary:
+        order[stub_node(half_edge)] = (half_edge[0],)
+    realized = RotationSystem(augmented, order)
+
+    # Chirality normalization: the gadget forces the order up to a global
+    # mirror; make the boundary walk match ``prescribed`` exactly so that
+    # sibling parts realized against one coordinator embedding compose.
+    walk = part.with_rotation(realized).boundary_order()
+    if cyclic_equal(walk, list(prescribed)):
+        return realized
+    mirrored = realized.mirrored()
+    walk_m = part.with_rotation(mirrored).boundary_order()
+    if cyclic_equal(walk_m, list(prescribed)):
+        return mirrored
+    raise RealizationError(
+        f"gadget produced boundary order {walk!r} incompatible with "
+        f"prescription {list(prescribed)!r}"
+    )

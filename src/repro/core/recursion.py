@@ -1,0 +1,195 @@
+"""The recursive embedding order (paper Section 4).
+
+Each recursive call owns a BFS subtree ``T_s`` and embeds the subgraph
+``H`` induced by it, with its half-embedded edges toward ``G \\ H``:
+
+1. run the real distributed subtree-size convergecast and splitter token
+   walk (O(depth) rounds) to find the 2/3-balanced vertex ``v``;
+2. ``P0`` = the tree path ``s -> v`` (an induced path, hence a trivial
+   part — Lemma 4.1); the hanging parts are the subtrees ``T_w`` for
+   ``w`` tree-adjacent to ``P0``;
+3. recurse on all hanging parts *in parallel* (they are vertex-disjoint,
+   so their executions genuinely interleave; rounds combine as a max);
+4. merge everything with the unrestricted path-coordinated merge.
+
+Lemma 4.2/4.3 quantities (part sizes <= 2|T_s|/3, part depth
+<= depth(T_s) - 1, recursion depth <= min(O(log n), D)) are recorded per
+call in :class:`CallRecord` for experiments E4/E5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..congest.metrics import RoundMetrics
+from ..planar.graph import Graph, NodeId
+from ..primitives.bfs import BfsTree
+from ..primitives.splitter import find_splitter
+from ..primitives.subtree import compute_subtree_stats
+from .parts import PartEmbedding, fresh_part
+from .unrestricted import UnrestrictedMergeStats, unrestricted_path_merge
+
+__all__ = ["CallRecord", "RecursionContext", "embed_subtree"]
+
+
+@dataclass
+class CallRecord:
+    """Audit record of one recursive call (experiments E4, E5, E8)."""
+
+    level: int
+    root: NodeId
+    subtree_size: int
+    subtree_depth: int
+    p0_length: int
+    splitter: NodeId
+    part_sizes: list[int]
+    merge_stats: UnrestrictedMergeStats | None = None
+
+
+@dataclass
+class RecursionContext:
+    """Shared inputs of the recursion: the network, its BFS tree, knobs."""
+
+    graph: Graph
+    tree: BfsTree
+    bandwidth: int = 1
+    trace: list[CallRecord] = field(default_factory=list)
+    current: Graph | None = None  # graph as modified by accepted split-offs
+    split_tests: int = 0
+    split_rejections: int = 0
+    splitter_strategy: str = "balanced"  # "balanced" (paper) | "root" (E12 ablation)
+
+    def __post_init__(self) -> None:
+        if self.current is None:
+            self.current = self.graph.copy()
+
+    def max_level(self) -> int:
+        return max((r.level for r in self.trace), default=0)
+
+    def try_split(self, copy: NodeId, coordinator: NodeId, rerouted: list[NodeId]) -> bool:
+        """Validate a step-2(e) split-off against the evolving network.
+
+        A split reroutes a part's edge bundle at ``coordinator`` through
+        the fresh ``copy``.  A single-edge bundle is an edge subdivision
+        and always planarity-safe; a larger bundle is safe only when some
+        planar embedding keeps the bundle consecutive around the
+        coordinator, which we decide by oracle-testing the modified
+        graph (the paper's full version guarantees this by construction;
+        see DESIGN.md §3).  On success the modification is kept so later
+        splits are tested against the up-to-date network.
+        """
+        from ..planar.lr_planarity import lr_planarity
+
+        g = self.current
+        for u in rerouted:
+            g.remove_edge(u, coordinator)
+            g.add_edge(u, copy)
+        g.add_edge(copy, coordinator)
+        if len(rerouted) == 1:
+            return True
+        self.split_tests += 1
+        if lr_planarity(g) is not None:
+            return True
+        g.remove_edge(copy, coordinator)
+        for u in rerouted:
+            g.remove_edge(u, copy)
+            g.add_edge(u, coordinator)
+        g.remove_node(copy)
+        self.split_rejections += 1
+        return False
+
+
+def _external_boundary(ctx: RecursionContext, vertices: set[NodeId]) -> list:
+    boundary = []
+    for u in sorted(vertices, key=repr):
+        for x in ctx.graph.neighbors(u):
+            if x not in vertices:
+                boundary.append((u, x))
+    return boundary
+
+
+def embed_subtree(
+    ctx: RecursionContext, s: NodeId, level: int = 0
+) -> tuple[PartEmbedding, RoundMetrics]:
+    """Embed the subgraph induced by the BFS subtree rooted at ``s``.
+
+    Returns the part (its embedding has every half-embedded edge toward
+    the outside on one face) and the round metrics of this call,
+    including its parallel children.
+    """
+    metrics = RoundMetrics()
+    vertices = ctx.tree.subtree_nodes(s)
+    if len(vertices) == 1:
+        part = fresh_part(
+            Graph(nodes=[s]), _external_boundary(ctx, vertices), depth=0
+        )
+        ctx.trace.append(
+            CallRecord(level, s, 1, 0, 0, s, part_sizes=[])
+        )
+        return part, metrics
+
+    # --- partition phase: real distributed subtree stats + token walk. --
+    tree_graph = Graph(nodes=sorted(vertices, key=repr))
+    parent: dict[NodeId, NodeId | None] = {}
+    children: dict[NodeId, list[NodeId]] = {}
+    for v in tree_graph.nodes():
+        parent[v] = ctx.tree.parent[v] if v != s else None
+        children[v] = list(ctx.tree.children[v])
+        if parent[v] is not None:
+            tree_graph.add_edge(v, parent[v])
+    stats = compute_subtree_stats(tree_graph, parent, children, metrics=metrics)
+    if ctx.splitter_strategy == "balanced":
+        splitter = find_splitter(
+            tree_graph, s, parent, children, metrics=metrics, stats=stats
+        )
+    elif ctx.splitter_strategy == "root":
+        # E12 ablation: no balancing — P0 degenerates to the root alone,
+        # so hanging parts can keep ~all the vertices and the recursion
+        # depth grows with the tree depth instead of log n.
+        splitter = s
+    else:
+        raise ValueError(f"unknown splitter strategy {ctx.splitter_strategy!r}")
+    p0_order = ctx.tree.path_to_descendant(s, splitter)
+    p0_set = set(p0_order)
+    hanging_roots = sorted(
+        {c for v in p0_order for c in children[v] if c not in p0_set}, key=repr
+    )
+
+    # --- parallel recursion on the hanging subtrees. ---------------------
+    parts: list[PartEmbedding] = []
+    branch_metrics: list[RoundMetrics] = []
+    for w in hanging_roots:
+        part, branch = embed_subtree(ctx, w, level + 1)
+        parts.append(part)
+        branch_metrics.append(branch)
+    metrics.absorb_parallel(branch_metrics, phase="recursion")
+
+    # --- merge: P0 plus the hanging parts. --------------------------------
+    p0_graph = Graph(nodes=p0_order)
+    for a, b in zip(p0_order, p0_order[1:]):
+        p0_graph.add_edge(a, b)
+    p0_part = fresh_part(
+        p0_graph, _external_boundary(ctx, p0_set), depth=max(len(p0_order) - 1, 0)
+    )
+    merged, merge_stats = unrestricted_path_merge(
+        p0_part,
+        p0_order,
+        parts,
+        metrics,
+        bandwidth=ctx.bandwidth,
+        split_validator=ctx.try_split,
+    )
+
+    ctx.trace.append(
+        CallRecord(
+            level=level,
+            root=s,
+            subtree_size=len(vertices),
+            subtree_depth=ctx.tree.subtree_depth(s),
+            p0_length=len(p0_order),
+            splitter=splitter,
+            part_sizes=sorted((stats.size[w] for w in hanging_roots), reverse=True),
+            merge_stats=merge_stats,
+        )
+    )
+    return merged, metrics

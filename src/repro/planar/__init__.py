@@ -1,0 +1,71 @@
+"""Centralized planar-graph toolkit: the local-computation substrate.
+
+CONGEST nodes have unbounded local computation (the paper caps it at
+poly(n) in footnote 3); this package provides everything a node - or a
+merge coordinator - computes locally: graphs with canonical edge IDs,
+rotation systems with face/genus machinery, a from-scratch left-right
+planarity kernel (the [HT74] stand-in), biconnected decompositions
+(Observation 3.2), outerplanarity recognition (Lemma 5.3 inputs), the
+workload generators, and the embedding verifier.
+"""
+
+from .biconnected import (
+    BiconnectedComponent,
+    BiconnectedDecomposition,
+    BlockCutTree,
+    articulation_points,
+    biconnected_components,
+)
+from .dual import DualGraph, dual_graph
+from .graph import EdgeId, Graph, GraphError, NodeId, edge_id
+from .kuratowski import classify_kuratowski, kuratowski_subgraph
+from .lr_planarity import NonPlanarGraphError, is_planar, lr_planarity, planar_embedding
+from .outerplanar import is_outerplanar, outer_face_order, outerplanar_embedding
+from .rotation import (
+    RotationError,
+    RotationSystem,
+    contracted_rotation,
+    euler_genus,
+    rotation_from_positions,
+    trace_faces,
+)
+from .verify import (
+    EmbeddingViolation,
+    check_embedding_with_boundary,
+    verify_planar_embedding,
+    verify_rotation_system,
+)
+
+__all__ = [
+    "Graph",
+    "GraphError",
+    "NodeId",
+    "EdgeId",
+    "edge_id",
+    "RotationSystem",
+    "RotationError",
+    "trace_faces",
+    "euler_genus",
+    "contracted_rotation",
+    "rotation_from_positions",
+    "lr_planarity",
+    "planar_embedding",
+    "is_planar",
+    "NonPlanarGraphError",
+    "BiconnectedComponent",
+    "BiconnectedDecomposition",
+    "BlockCutTree",
+    "biconnected_components",
+    "articulation_points",
+    "kuratowski_subgraph",
+    "classify_kuratowski",
+    "DualGraph",
+    "dual_graph",
+    "is_outerplanar",
+    "outerplanar_embedding",
+    "outer_face_order",
+    "EmbeddingViolation",
+    "verify_planar_embedding",
+    "verify_rotation_system",
+    "check_embedding_with_boundary",
+]

@@ -1,0 +1,68 @@
+"""Dual graphs of combinatorial embeddings.
+
+Once a rotation system is known, the planar dual — one node per face,
+one edge per primal edge joining the two faces it borders — is a purely
+local computation.  Duals are the gateway to the classic planar
+machinery the paper's program targets downstream (part II uses planar
+duality for min-cut), and the sensor example uses them for
+region-adjacency reasoning.
+"""
+
+from __future__ import annotations
+
+from .graph import Graph, NodeId, edge_id
+from .rotation import RotationSystem, trace_faces
+
+__all__ = ["DualGraph", "dual_graph"]
+
+
+class DualGraph:
+    """The dual of a planar rotation system.
+
+    Face identifiers are dense integers ``0..F-1``; ``face_of_dart``
+    maps every directed primal edge to the face on its traversal side,
+    and ``edge_faces`` maps every primal edge to its two (possibly
+    equal) incident faces.  The adjacency itself is exposed as a simple
+    :class:`Graph` (parallel dual edges and self-loops of the true dual
+    multigraph are recorded in ``edge_faces`` but coalesced/omitted in
+    the simple view).
+    """
+
+    def __init__(self, rotation: RotationSystem) -> None:
+        self.rotation = rotation
+        self.faces = trace_faces(rotation)
+        self.face_of_dart: dict[tuple, int] = {}
+        for idx, face in enumerate(self.faces):
+            for dart in face:
+                self.face_of_dart[dart] = idx
+        self.edge_faces: dict[tuple, tuple[int, int]] = {}
+        self.graph = Graph(nodes=range(len(self.faces)))
+        for u, v in rotation.graph.edges():
+            left = self.face_of_dart[(u, v)]
+            right = self.face_of_dart[(v, u)]
+            self.edge_faces[edge_id(u, v)] = (left, right)
+            if left != right:
+                self.graph.add_edge(left, right)
+
+    @property
+    def num_faces(self) -> int:
+        return len(self.faces)
+
+    def face_size(self, face: int) -> int:
+        return len(self.faces[face])
+
+    def faces_at(self, v: NodeId) -> list[int]:
+        """The faces incident to primal vertex ``v``, in rotation order."""
+        ring = self.rotation.order(v)
+        return [self.face_of_dart[(v, u)] for u in ring]
+
+    def bridges(self) -> list[tuple]:
+        """Primal edges with the same face on both sides (cut edges)."""
+        return [e for e, (a, b) in self.edge_faces.items() if a == b]
+
+
+def dual_graph(rotation: RotationSystem) -> DualGraph:
+    """Construct the planar dual of ``rotation`` (must be genus 0)."""
+    if rotation.graph.num_edges and not rotation.is_planar_embedding():
+        raise ValueError("dual graphs are defined here only for planar embeddings")
+    return DualGraph(rotation)

@@ -1,0 +1,341 @@
+"""Planar (and a few deliberately non-planar) graph families.
+
+These are the workloads for the experiments in EXPERIMENTS.md.  The paper
+has no benchmark section, so the families are chosen to exercise its
+claims across the relevant parameter regimes:
+
+* **grids / triangulated grids / Delaunay triangulations** - the generic
+  "planar network" with ``D = Θ(√n)``, the regime where the paper's
+  ``O(D log n)`` bound beats the trivial ``O(n)`` by ``~√n / log n``.
+* **K4 subdivisions** - the paper's footnote-1 lower-bound construction:
+  a ``K4`` whose edges are length-``L`` paths forces ``Ω(D)`` rounds.
+* **paths, cycles, caterpillars, subdivided graphs** - ``D = Θ(n)``
+  extremes where the ``min{log n, D}`` factor matters.
+* **outerplanar graphs** - inputs to the Lemma 5.3 symmetry breaking
+  (the inter-part graph hanging off ``P0`` is outerplanar).
+* **maximal planar / Apollonian graphs** - densest planar inputs
+  (``m = 3n − 6``), stressing the bandwidth accounting.
+
+All generators are deterministic given their ``seed`` and label nodes with
+integers ``0..n-1``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .graph import Graph
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "wheel_graph",
+    "complete_graph",
+    "complete_bipartite",
+    "grid_graph",
+    "grid_positions",
+    "triangulated_grid",
+    "cylinder_graph",
+    "binary_tree",
+    "caterpillar",
+    "random_tree",
+    "theta_graph",
+    "subdivide",
+    "k4_subdivision",
+    "random_outerplanar",
+    "random_maximal_planar",
+    "random_planar",
+    "delaunay_triangulation",
+    "stacked_prism",
+]
+
+
+def path_graph(n: int) -> Graph:
+    """The path on ``n`` vertices (diameter ``n - 1``)."""
+    return Graph(nodes=range(n), edges=[(i, i + 1) for i in range(n - 1)])
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle on ``n >= 3`` vertices."""
+    if n < 3:
+        raise ValueError("a cycle needs at least 3 vertices")
+    g = path_graph(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+def star_graph(leaves: int) -> Graph:
+    """A star: center ``0`` with ``leaves`` leaves."""
+    return Graph(nodes=range(leaves + 1), edges=[(0, i) for i in range(1, leaves + 1)])
+
+
+def wheel_graph(rim: int) -> Graph:
+    """A wheel: hub ``0`` plus a rim cycle of ``rim >= 3`` vertices.
+
+    Wheels are 3-connected, so their planar embedding is unique up to a
+    mirror flip - exactly the rigidity the interface skeletons in
+    ``repro.core.interface`` exploit.
+    """
+    if rim < 3:
+        raise ValueError("a wheel rim needs at least 3 vertices")
+    g = Graph(nodes=range(rim + 1))
+    for i in range(1, rim + 1):
+        g.add_edge(0, i)
+        g.add_edge(i, 1 + (i % rim))
+    return g
+
+
+def complete_graph(n: int) -> Graph:
+    """``K_n`` (non-planar for ``n >= 5``)."""
+    g = Graph(nodes=range(n))
+    for i in range(n):
+        for j in range(i + 1, n):
+            g.add_edge(i, j)
+    return g
+
+
+def complete_bipartite(a: int, b: int) -> Graph:
+    """``K_{a,b}`` (non-planar when ``a, b >= 3``)."""
+    g = Graph(nodes=range(a + b))
+    for i in range(a):
+        for j in range(a, a + b):
+            g.add_edge(i, j)
+    return g
+
+
+def grid_graph(rows: int, cols: int) -> Graph:
+    """The ``rows x cols`` grid; ``D = rows + cols - 2``."""
+    g = Graph(nodes=range(rows * cols))
+
+    def nid(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                g.add_edge(nid(r, c), nid(r, c + 1))
+            if r + 1 < rows:
+                g.add_edge(nid(r, c), nid(r + 1, c))
+    return g
+
+
+def grid_positions(rows: int, cols: int) -> dict[int, tuple[float, float]]:
+    """Planar coordinates matching :func:`grid_graph` node IDs."""
+    return {r * cols + c: (float(c), float(r)) for r in range(rows) for c in range(cols)}
+
+
+def triangulated_grid(rows: int, cols: int) -> Graph:
+    """A grid with one diagonal per cell (still planar, denser)."""
+    g = grid_graph(rows, cols)
+    for r in range(rows - 1):
+        for c in range(cols - 1):
+            g.add_edge(r * cols + c, (r + 1) * cols + (c + 1))
+    return g
+
+
+def cylinder_graph(rows: int, cols: int) -> Graph:
+    """A grid whose columns wrap around (a planar cylinder), ``cols >= 3``."""
+    if cols < 3:
+        raise ValueError("a cylinder needs at least 3 columns")
+    g = grid_graph(rows, cols)
+    for r in range(rows):
+        g.add_edge(r * cols + (cols - 1), r * cols)
+    return g
+
+
+def stacked_prism(layers: int, rim: int) -> Graph:
+    """``layers`` concentric ``rim``-cycles with spokes between layers.
+
+    ``D ~ layers + rim/2`` while ``n = layers * rim``, giving a family
+    whose diameter can be tuned almost independently of size - used for
+    the ``min{log n, D}`` crossover experiment (E11).
+    """
+    g = cylinder_graph(layers, rim)
+    return g
+
+
+def binary_tree(depth: int) -> Graph:
+    """The complete binary tree with ``2^(depth+1) - 1`` vertices."""
+    n = 2 ** (depth + 1) - 1
+    g = Graph(nodes=range(n))
+    for i in range(n):
+        for child in (2 * i + 1, 2 * i + 2):
+            if child < n:
+                g.add_edge(i, child)
+    return g
+
+
+def caterpillar(spine: int, legs_per_vertex: int) -> Graph:
+    """A spine path with ``legs_per_vertex`` pendant leaves per vertex."""
+    g = path_graph(spine)
+    nxt = spine
+    for v in range(spine):
+        for _ in range(legs_per_vertex):
+            g.add_edge(v, nxt)
+            nxt += 1
+    return g
+
+
+def random_tree(n: int, seed: int = 0) -> Graph:
+    """A uniform random recursive tree on ``n`` vertices."""
+    rng = random.Random(seed)
+    g = Graph(nodes=range(n))
+    for v in range(1, n):
+        g.add_edge(v, rng.randrange(v))
+    return g
+
+
+def theta_graph(paths: int, length: int) -> Graph:
+    """Two terminals joined by ``paths`` internally disjoint length-``length`` paths.
+
+    Series-parallel (hence planar).  For ``paths >= 3`` the terminals are
+    3-connected-ish coordination hot-spots, a worst case for the merge
+    bookkeeping around cut vertices.
+    """
+    if paths < 2 or length < 2:
+        raise ValueError("need paths >= 2 and length >= 2")
+    g = Graph(nodes=[0, 1])
+    nxt = 2
+    for _ in range(paths):
+        prev = 0
+        for _ in range(length - 1):
+            g.add_edge(prev, nxt)
+            prev = nxt
+            nxt += 1
+        g.add_edge(prev, 1)
+    return g
+
+
+def subdivide(graph: Graph, segments: int) -> Graph:
+    """Replace every edge with a path of ``segments`` edges.
+
+    New interior vertices get fresh integer IDs above the existing
+    maximum.  ``segments=1`` returns an isomorphic copy.
+    """
+    if segments < 1:
+        raise ValueError("segments must be >= 1")
+    result = Graph(nodes=graph.nodes())
+    nxt = max((v for v in graph.nodes() if isinstance(v, int)), default=-1) + 1
+    for u, v in sorted(graph.edges(), key=repr):
+        prev = u
+        for _ in range(segments - 1):
+            result.add_edge(prev, nxt)
+            prev = nxt
+            nxt += 1
+        result.add_edge(prev, v)
+    return result
+
+
+def k4_subdivision(segments: int) -> Graph:
+    """The paper's footnote-1 lower-bound graph.
+
+    ``K4`` with every edge replaced by a path of ``segments`` edges.  Any
+    planar embedding forces the three degree-3 branch vertices, which are
+    ``Θ(D)`` hops apart, to output *consistent* clockwise orderings, so
+    ``Ω(D)`` rounds are necessary even with unbounded messages.
+    """
+    return subdivide(complete_graph(4), segments)
+
+
+def random_outerplanar(n: int, seed: int = 0, extra_chords: int | None = None) -> Graph:
+    """A random maximal-ish outerplanar graph on ``n >= 3`` vertices.
+
+    Construction: the outer cycle ``0..n-1`` plus non-crossing chords of
+    the polygon, sampled by recursive fan splitting.  Every such graph is
+    outerplanar (all vertices on the outer cycle, chords non-crossing).
+    """
+    if n < 3:
+        raise ValueError("need n >= 3")
+    rng = random.Random(seed)
+    g = cycle_graph(n)
+    budget = (n - 3) if extra_chords is None else min(extra_chords, n - 3)
+
+    # Recursively split polygon intervals with random chords.
+    intervals = [(0, n - 1)]
+    added = 0
+    while intervals and added < budget:
+        lo, hi = intervals.pop(rng.randrange(len(intervals)))
+        if hi - lo < 2:
+            continue
+        mid = rng.randrange(lo + 1, hi)
+        if (mid - lo) >= 2:
+            if not g.has_edge(lo, mid):
+                g.add_edge(lo, mid)
+                added += 1
+            intervals.append((lo, mid))
+        if (hi - mid) >= 2:
+            if not g.has_edge(mid, hi):
+                g.add_edge(mid, hi)
+                added += 1
+            intervals.append((mid, hi))
+    return g
+
+
+def random_maximal_planar(n: int, seed: int = 0) -> Graph:
+    """A random Apollonian (planar 3-tree) graph: maximal planar, ``m = 3n - 6``.
+
+    Start from a triangle and repeatedly insert a new vertex inside a
+    uniformly random existing face, connecting it to the face's corners.
+    """
+    if n < 3:
+        raise ValueError("need n >= 3")
+    rng = random.Random(seed)
+    g = Graph(nodes=range(3), edges=[(0, 1), (1, 2), (0, 2)])
+    faces: list[tuple[int, int, int]] = [(0, 1, 2), (0, 1, 2)]  # inner + outer
+    for v in range(3, n):
+        idx = rng.randrange(len(faces))
+        a, b, c = faces.pop(idx)
+        g.add_edge(v, a)
+        g.add_edge(v, b)
+        g.add_edge(v, c)
+        faces.extend([(a, b, v), (b, c, v), (a, c, v)])
+    return g
+
+
+def random_planar(n: int, m: int | None = None, seed: int = 0) -> Graph:
+    """A random connected planar graph with ``~m`` edges.
+
+    Built by deleting random non-bridge edges from a random maximal
+    planar graph until the target edge count is reached.
+    """
+    g = random_maximal_planar(n, seed=seed)
+    if m is None:
+        m = 2 * n
+    m = max(n - 1, min(m, g.num_edges))
+    rng = random.Random(seed + 1)
+    edges = sorted(g.edges(), key=repr)
+    rng.shuffle(edges)
+    for u, v in edges:
+        if g.num_edges <= m:
+            break
+        g.remove_edge(u, v)
+        if not g.is_connected():
+            g.add_edge(u, v)
+    return g
+
+
+def delaunay_triangulation(
+    n: int, seed: int = 0
+) -> tuple[Graph, dict[int, tuple[float, float]]]:
+    """A Delaunay triangulation of ``n`` random points in the unit square.
+
+    This is the reproduction's stand-in for "a sensor-network deployment":
+    the paper motivates planar networks as naturally occurring; Delaunay
+    graphs are the canonical synthetic model for them.  Returns the graph
+    and the point coordinates.
+    """
+    from scipy.spatial import Delaunay
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    points = rng.random((n, 2))
+    tri = Delaunay(points)
+    g = Graph(nodes=range(n))
+    for simplex in tri.simplices:
+        a, b, c = (int(x) for x in simplex)
+        g.add_edge(a, b)
+        g.add_edge(b, c)
+        g.add_edge(a, c)
+    positions = {i: (float(points[i][0]), float(points[i][1])) for i in range(n)}
+    return g, positions

@@ -1,0 +1,451 @@
+"""From-scratch left-right planarity test with an embedding phase.
+
+This module is the reproduction's stand-in for the Hopcroft-Tarjan
+planarity algorithm [HT74] that the paper cites as the centralized
+counterpart of its contribution.  It implements the left-right (also
+known as de Fraysseix-Rosenstiehl) planarity criterion in the formulation
+of Brandes' lecture notes ("The left-right planarity test"), including the
+embedding phase, so that a planar input yields a full rotation system.
+
+The algorithm runs in three DFS passes over an orientation of the graph:
+
+1. *Orientation* - root a DFS forest, classify edges as tree/back edges,
+   and compute ``lowpt``/``lowpt2``/``nesting_depth`` per directed edge.
+2. *Testing* - process outgoing edges in nesting order while maintaining a
+   stack of conflict pairs (intervals of return edges that must go to the
+   same side); a forced left-left/right-right conflict proves K5/K3,3.
+3. *Embedding* - resolve the relative sides via the ``ref``/``side``
+   relation, re-sort adjacencies by signed nesting depth, and emit a
+   rotation system by splicing back edges next to the correct reference
+   half-edges.
+
+All passes are iterative (no Python recursion) so graphs far beyond the
+interpreter's recursion limit embed fine.  The test-suite cross-validates
+this module against ``networkx.check_planarity`` on thousands of random
+graphs; inside the library it is the *only* planarity kernel.
+
+CONGEST context: nodes have unbounded local computation, so the
+distributed algorithm's coordinators may run this kernel locally on the
+(small, summarized) instances they gather; see ``repro.core.merges``.
+"""
+
+from __future__ import annotations
+
+from .graph import Graph, NodeId
+from .rotation import RotationSystem
+
+__all__ = [
+    "NonPlanarGraphError",
+    "lr_planarity",
+    "planar_embedding",
+    "is_planar",
+]
+
+
+class NonPlanarGraphError(ValueError):
+    """Raised when an embedding is requested for a non-planar graph."""
+
+
+def is_planar(graph: Graph) -> bool:
+    """True iff ``graph`` is planar."""
+    return lr_planarity(graph) is not None
+
+
+def planar_embedding(graph: Graph) -> RotationSystem:
+    """A combinatorial planar embedding of ``graph``.
+
+    Raises :class:`NonPlanarGraphError` when the graph is not planar.
+    """
+    rotation = lr_planarity(graph)
+    if rotation is None:
+        raise NonPlanarGraphError(
+            f"graph with {graph.num_nodes} nodes / {graph.num_edges} edges is not planar"
+        )
+    return rotation
+
+
+def lr_planarity(graph: Graph) -> RotationSystem | None:
+    """Left-right planarity test; a rotation system, or ``None`` if non-planar."""
+    return _LRPlanarity(graph).run()
+
+
+class _Interval:
+    """An interval of return edges, empty when both ends are ``None``."""
+
+    __slots__ = ("low", "high")
+
+    def __init__(self, low=None, high=None) -> None:
+        self.low = low
+        self.high = high
+
+    def empty(self) -> bool:
+        return self.low is None and self.high is None
+
+    def copy(self) -> "_Interval":
+        return _Interval(self.low, self.high)
+
+
+class _ConflictPair:
+    """A left/right pair of return-edge intervals on the constraint stack."""
+
+    __slots__ = ("left", "right")
+
+    def __init__(self, left: _Interval | None = None, right: _Interval | None = None) -> None:
+        self.left = left if left is not None else _Interval()
+        self.right = right if right is not None else _Interval()
+
+    def swap(self) -> None:
+        self.left, self.right = self.right, self.left
+
+    def lowest(self, state: "_LRPlanarity") -> int:
+        if self.left.empty():
+            return state.lowpt[self.right.low]
+        if self.right.empty():
+            return state.lowpt[self.left.low]
+        return min(state.lowpt[self.left.low], state.lowpt[self.right.low])
+
+
+def _top(stack: list) -> _ConflictPair | None:
+    return stack[-1] if stack else None
+
+
+class _EmbeddingBuilder:
+    """Half-edge rings under construction: per-vertex circular cw lists."""
+
+    __slots__ = ("next_cw", "next_ccw", "first")
+
+    def __init__(self) -> None:
+        self.next_cw: dict[NodeId, dict[NodeId, NodeId]] = {}
+        self.next_ccw: dict[NodeId, dict[NodeId, NodeId]] = {}
+        self.first: dict[NodeId, NodeId | None] = {}
+
+    def add_node(self, v: NodeId) -> None:
+        self.next_cw.setdefault(v, {})
+        self.next_ccw.setdefault(v, {})
+        self.first.setdefault(v, None)
+
+    def _add_lonely(self, v: NodeId, w: NodeId) -> None:
+        self.next_cw[v][w] = w
+        self.next_ccw[v][w] = w
+        self.first[v] = w
+
+    def add_half_edge_cw(self, v: NodeId, w: NodeId, ref: NodeId | None) -> None:
+        """Insert half-edge ``v -> w`` clockwise-after ``ref`` at ``v``."""
+        if ref is None:
+            self._add_lonely(v, w)
+            return
+        after = self.next_cw[v][ref]
+        self.next_cw[v][ref] = w
+        self.next_cw[v][w] = after
+        self.next_ccw[v][after] = w
+        self.next_ccw[v][w] = ref
+
+    def add_half_edge_ccw(self, v: NodeId, w: NodeId, ref: NodeId | None) -> None:
+        """Insert half-edge ``v -> w`` counter-clockwise-after ``ref`` at ``v``."""
+        if ref is None:
+            self._add_lonely(v, w)
+            return
+        self.add_half_edge_cw(v, w, self.next_ccw[v][ref])
+        if ref == self.first[v]:
+            self.first[v] = w
+
+    def add_half_edge_first(self, v: NodeId, w: NodeId) -> None:
+        """Insert ``v -> w`` so that ``w`` becomes the first neighbor of ``v``."""
+        self.add_half_edge_ccw(v, w, self.first[v])
+        self.first[v] = w
+
+    def rotation_of(self, v: NodeId) -> tuple[NodeId, ...]:
+        start = self.first[v]
+        if start is None:
+            return ()
+        ring = [start]
+        cur = self.next_cw[v][start]
+        while cur != start:
+            ring.append(cur)
+            cur = self.next_cw[v][cur]
+        return tuple(ring)
+
+
+class _LRPlanarity:
+    """State machine for one left-right planarity run."""
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph
+        self.roots: list[NodeId] = []
+        self.height: dict[NodeId, int | None] = {v: None for v in graph.nodes()}
+        # Per *directed* edge (tuples (u, v)):
+        self.lowpt: dict[tuple, int] = {}
+        self.lowpt2: dict[tuple, int] = {}
+        self.nesting_depth: dict[tuple, int] = {}
+        self.parent_edge: dict[NodeId, tuple | None] = {v: None for v in graph.nodes()}
+        self.oriented: set[tuple] = set()
+        self.out_adj: dict[NodeId, list[NodeId]] = {v: [] for v in graph.nodes()}
+        self.ordered_adjs: dict[NodeId, list[NodeId]] = {}
+        self.ref: dict[tuple, tuple | None] = {}
+        self.side: dict[tuple, int] = {}
+        self.S: list[_ConflictPair] = []
+        self.stack_bottom: dict[tuple, _ConflictPair | None] = {}
+        self.lowpt_edge: dict[tuple, tuple] = {}
+        self.left_ref: dict[NodeId, NodeId] = {}
+        self.right_ref: dict[NodeId, NodeId] = {}
+        self.embedding = _EmbeddingBuilder()
+
+    def run(self) -> RotationSystem | None:
+        graph = self.graph
+        n = graph.num_nodes
+        if n > 2 and graph.num_edges > 3 * n - 6:
+            return None  # violates the planar edge bound
+
+        # Pass 1: orientation.
+        for v in graph.nodes():
+            if self.height[v] is None:
+                self.height[v] = 0
+                self.roots.append(v)
+                self._dfs_orientation(v)
+
+        # Pass 2: testing.
+        for v in graph.nodes():
+            self.ordered_adjs[v] = sorted(
+                self.out_adj[v], key=lambda w: self.nesting_depth[(v, w)]
+            )
+        for root in self.roots:
+            if not self._dfs_testing(root):
+                return None
+
+        # Pass 3: embedding.
+        for v in graph.nodes():
+            for w in self.out_adj[v]:
+                e = (v, w)
+                self.nesting_depth[e] = self._sign(e) * self.nesting_depth[e]
+        for v in graph.nodes():
+            self.embedding.add_node(v)
+            self.ordered_adjs[v] = sorted(
+                self.out_adj[v], key=lambda w: self.nesting_depth[(v, w)]
+            )
+            previous = None
+            for w in self.ordered_adjs[v]:
+                self.embedding.add_half_edge_cw(v, w, previous)
+                previous = w
+        for root in self.roots:
+            self._dfs_embedding(root)
+
+        order = {v: self.embedding.rotation_of(v) for v in graph.nodes()}
+        return RotationSystem(graph, order)
+
+    # -- pass 1 -----------------------------------------------------------
+
+    def _dfs_orientation(self, start: NodeId) -> None:
+        dfs_stack = [start]
+        ind: dict[NodeId, int] = {}
+        skip_init: set[tuple] = set()
+
+        while dfs_stack:
+            v = dfs_stack.pop()
+            e = self.parent_edge[v]
+            adjacency = self.graph.neighbors(v)
+            descend = False
+            i = ind.get(v, 0)
+            while i < len(adjacency):
+                w = adjacency[i]
+                vw = (v, w)
+                if vw not in skip_init:
+                    if vw in self.oriented or (w, v) in self.oriented:
+                        i += 1
+                        continue
+                    self.oriented.add(vw)
+                    self.out_adj[v].append(w)
+                    self.ref[vw] = None
+                    self.side[vw] = 1
+                    self.lowpt[vw] = self.height[v]
+                    self.lowpt2[vw] = self.height[v]
+                    if self.height[w] is None:  # tree edge
+                        self.parent_edge[w] = vw
+                        self.height[w] = self.height[v] + 1
+                        ind[v] = i
+                        dfs_stack.append(v)  # resume v afterwards
+                        dfs_stack.append(w)
+                        skip_init.add(vw)
+                        descend = True
+                        break
+                    self.lowpt[vw] = self.height[w]  # back edge
+
+                # nesting depth: twice the lowpoint, +1 if chordal
+                self.nesting_depth[vw] = 2 * self.lowpt[vw]
+                if self.lowpt2[vw] < self.height[v]:
+                    self.nesting_depth[vw] += 1
+
+                if e is not None:  # fold lowpoints into the parent edge
+                    if self.lowpt[vw] < self.lowpt[e]:
+                        self.lowpt2[e] = min(self.lowpt[e], self.lowpt2[vw])
+                        self.lowpt[e] = self.lowpt[vw]
+                    elif self.lowpt[vw] > self.lowpt[e]:
+                        self.lowpt2[e] = min(self.lowpt2[e], self.lowpt[vw])
+                    else:
+                        self.lowpt2[e] = min(self.lowpt2[e], self.lowpt2[vw])
+                i += 1
+            if not descend:
+                ind[v] = i
+
+    # -- pass 2 -----------------------------------------------------------
+
+    def _dfs_testing(self, start: NodeId) -> bool:
+        dfs_stack = [start]
+        ind: dict[NodeId, int] = {}
+        skip_init: set[tuple] = set()
+
+        while dfs_stack:
+            v = dfs_stack.pop()
+            e = self.parent_edge[v]
+            adjacency = self.ordered_adjs[v]
+            descend = False
+            i = ind.get(v, 0)
+            while i < len(adjacency):
+                w = adjacency[i]
+                ei = (v, w)
+                if ei not in skip_init:
+                    self.stack_bottom[ei] = _top(self.S)
+                    if ei == self.parent_edge[w]:  # tree edge: recurse first
+                        ind[v] = i
+                        dfs_stack.append(v)
+                        dfs_stack.append(w)
+                        skip_init.add(ei)
+                        descend = True
+                        break
+                    # back edge: its own one-element right interval
+                    self.lowpt_edge[ei] = ei
+                    self.S.append(_ConflictPair(right=_Interval(ei, ei)))
+
+                # integrate the return edges contributed by ei
+                if self.lowpt[ei] < self.height[v]:
+                    if w == adjacency[0]:
+                        self.lowpt_edge[e] = self.lowpt_edge[ei]
+                    elif not self._add_constraints(ei, e):
+                        return False  # forced same-side conflict: non-planar
+                i += 1
+            if descend:
+                continue
+            ind[v] = i
+            if e is not None:
+                self._remove_back_edges(e)
+        return True
+
+    def _conflicting(self, interval: _Interval, b: tuple) -> bool:
+        return not interval.empty() and self.lowpt[interval.high] > self.lowpt[b]
+
+    def _add_constraints(self, ei: tuple, e: tuple) -> bool:
+        P = _ConflictPair()
+        # merge return edges of ei into P.right
+        while True:
+            Q = self.S.pop()
+            if not Q.left.empty():
+                Q.swap()
+            if not Q.left.empty():
+                return False
+            if self.lowpt[Q.right.low] > self.lowpt[e]:
+                if P.right.empty():
+                    P.right.high = Q.right.high
+                else:
+                    self.ref[P.right.low] = Q.right.high
+                P.right.low = Q.right.low
+            else:  # align with the parent's lowpoint edge
+                self.ref[Q.right.low] = self.lowpt_edge[e]
+            if _top(self.S) is self.stack_bottom[ei]:
+                break
+        # merge conflicting return edges of earlier siblings into P.left
+        while self._conflicting(_top(self.S).left, ei) or self._conflicting(
+            _top(self.S).right, ei
+        ):
+            Q = self.S.pop()
+            if self._conflicting(Q.right, ei):
+                Q.swap()
+            if self._conflicting(Q.right, ei):
+                return False
+            self.ref[P.right.low] = Q.right.high
+            if Q.right.low is not None:
+                P.right.low = Q.right.low
+            if P.left.empty():
+                P.left.high = Q.left.high
+            else:
+                self.ref[P.left.low] = Q.left.high
+            P.left.low = Q.left.low
+        if not (P.left.empty() and P.right.empty()):
+            self.S.append(P)
+        return True
+
+    def _remove_back_edges(self, e: tuple) -> None:
+        u = e[0]
+        # drop entire conflict pairs whose lowest return point is u
+        while self.S and _top(self.S).lowest(self) == self.height[u]:
+            P = self.S.pop()
+            if P.left.low is not None:
+                self.side[P.left.low] = -1
+        if self.S:  # one more pair may need trimming
+            P = self.S.pop()
+            while P.left.high is not None and P.left.high[1] == u:
+                P.left.high = self.ref[P.left.high]
+            if P.left.high is None and P.left.low is not None:
+                self.ref[P.left.low] = P.right.low
+                self.side[P.left.low] = -1
+                P.left.low = None
+            while P.right.high is not None and P.right.high[1] == u:
+                P.right.high = self.ref[P.right.high]
+            if P.right.high is None and P.right.low is not None:
+                self.ref[P.right.low] = P.left.low
+                self.side[P.right.low] = -1
+                P.right.low = None
+            self.S.append(P)
+        # the side of e follows the side of its highest return edge
+        if self.lowpt[e] < self.height[u]:
+            top = _top(self.S)
+            hl = top.left.high
+            hr = top.right.high
+            if hl is not None and (hr is None or self.lowpt[hl] > self.lowpt[hr]):
+                self.ref[e] = hl
+            else:
+                self.ref[e] = hr
+
+    # -- pass 3 -----------------------------------------------------------
+
+    def _sign(self, e: tuple) -> int:
+        """Resolve the absolute side of ``e`` along its ``ref`` chain."""
+        dfs_stack = [e]
+        old_ref: dict[tuple, tuple] = {}
+        while dfs_stack:
+            cur = dfs_stack.pop()
+            if self.ref[cur] is not None:
+                dfs_stack.append(cur)
+                dfs_stack.append(self.ref[cur])
+                old_ref[cur] = self.ref[cur]
+                self.ref[cur] = None
+            elif cur in old_ref:
+                self.side[cur] *= self.side[old_ref[cur]]
+        return self.side[e]
+
+    def _dfs_embedding(self, start: NodeId) -> None:
+        dfs_stack = [start]
+        ind: dict[NodeId, int] = {}
+
+        while dfs_stack:
+            v = dfs_stack.pop()
+            adjacency = self.ordered_adjs[v]
+            i = ind.get(v, 0)
+            while i < len(adjacency):
+                w = adjacency[i]
+                i += 1
+                ei = (v, w)
+                if ei == self.parent_edge[w]:  # tree edge
+                    self.embedding.add_half_edge_first(w, v)
+                    self.left_ref[v] = w
+                    self.right_ref[v] = w
+                    ind[v] = i
+                    dfs_stack.append(v)
+                    dfs_stack.append(w)
+                    break
+                # back edge: splice next to the reference half-edge at w
+                if self.side[ei] == 1:
+                    self.embedding.add_half_edge_cw(w, v, self.right_ref[w])
+                else:
+                    self.embedding.add_half_edge_ccw(w, v, self.left_ref[w])
+                    self.left_ref[w] = v
+            else:
+                ind[v] = i

@@ -1,0 +1,92 @@
+"""Outerplanarity recognition.
+
+The inter-part graph that hangs off the coordinator path ``P0`` is
+outerplanar (all parts touch the single face containing ``P0``), and
+Lemma 5.3's symmetry breaking is stated for outerplanar inputs.  This
+module recognizes outerplanar graphs with the classical apex reduction:
+
+    ``G`` is outerplanar  <=>  ``G + apex`` is planar,
+
+where the apex is a new vertex adjacent to every vertex of ``G`` (all
+vertices can lie on the outer face exactly when a vertex placed in that
+face can reach all of them without crossings).  It reuses the library's
+own left-right kernel, and can also return an *outerplanar embedding*:
+a rotation system of ``G`` in which one face contains every vertex.
+"""
+
+from __future__ import annotations
+
+from .graph import Graph, NodeId
+from .lr_planarity import lr_planarity
+from .rotation import RotationSystem, trace_faces
+
+__all__ = ["is_outerplanar", "outerplanar_embedding", "outer_face_order"]
+
+
+def is_outerplanar(graph: Graph) -> bool:
+    """True iff every vertex of ``graph`` can lie on a single face."""
+    return outerplanar_embedding(graph) is not None
+
+
+def outerplanar_embedding(graph: Graph) -> RotationSystem | None:
+    """A rotation system of ``graph`` with all vertices on one face.
+
+    Returns ``None`` when the graph is not outerplanar.  Implementation:
+    embed ``G`` plus an apex adjacent to all vertices; deleting the apex
+    from the rotation system leaves all its former neighbors (= every
+    vertex) on the face that opens up where the apex was.
+    """
+    augmented = Graph()
+    # Node IDs must be mutually comparable; wrap originals in tuples and
+    # use a shorter tuple as the apex so heterogeneous IDs still compare.
+    wrap = {v: ("v", repr(v), v) for v in graph.nodes()}
+    for v in graph.nodes():
+        augmented.add_node(wrap[v])
+    for u, v in graph.edges():
+        augmented.add_edge(wrap[u], wrap[v])
+    apex_node = ("a",)
+    augmented.add_node(apex_node)
+    for v in graph.nodes():
+        augmented.add_edge(apex_node, wrap[v])
+
+    rotation = lr_planarity(augmented)
+    if rotation is None:
+        return None
+
+    unwrap = {w: v for v, w in wrap.items()}
+    order = {}
+    for v in graph.nodes():
+        ring = [unwrap[u] for u in rotation.order(wrap[v]) if u != apex_node]
+        order[v] = tuple(ring)
+    return RotationSystem(graph, order)
+
+
+def outer_face_order(graph: Graph) -> list[NodeId] | None:
+    """Vertices of a connected outerplanar graph in outer-face order.
+
+    Returns one cyclic order in which all vertices appear on a common
+    face, or ``None`` if the graph is not outerplanar.  Cut vertices may
+    appear multiple times on the face walk; the returned list keeps the
+    first occurrence of each vertex.
+    """
+    if graph.num_nodes == 0:
+        return []
+    if graph.num_nodes == 1:
+        return graph.nodes()
+    rotation = outerplanar_embedding(graph)
+    if rotation is None:
+        return None
+    if not graph.is_connected():
+        return None
+    all_nodes = set(graph.nodes())
+    for face in trace_faces(rotation):
+        on_face = {u for u, _ in face}
+        if on_face == all_nodes:
+            seen: set[NodeId] = set()
+            result: list[NodeId] = []
+            for u, _ in face:
+                if u not in seen:
+                    seen.add(u)
+                    result.append(u)
+            return result
+    return None

@@ -1,0 +1,46 @@
+"""Distributed building blocks running as real CONGEST node programs."""
+
+from .aggregation import (
+    BroadcastProgram,
+    ConvergecastProgram,
+    tree_aggregate,
+    tree_broadcast,
+)
+from .bfs import BfsProgram, BfsTree, build_bfs_tree
+from .estimation import NetworkEstimate, estimate_network
+from .coloring import (
+    cole_vishkin_3coloring,
+    is_proper_coloring,
+    log_star,
+    mis_from_coloring,
+)
+from .leader import MaxIdFloodProgram, elect_leader
+from .orientation import SparseOrientation, neighborhood_views, peel_orientation
+from .splitter import SplitterWalkProgram, find_splitter, splitter_components
+from .subtree import SubtreeStats, compute_subtree_stats
+
+__all__ = [
+    "elect_leader",
+    "MaxIdFloodProgram",
+    "build_bfs_tree",
+    "BfsTree",
+    "BfsProgram",
+    "estimate_network",
+    "NetworkEstimate",
+    "tree_aggregate",
+    "tree_broadcast",
+    "ConvergecastProgram",
+    "BroadcastProgram",
+    "compute_subtree_stats",
+    "SubtreeStats",
+    "find_splitter",
+    "splitter_components",
+    "SplitterWalkProgram",
+    "cole_vishkin_3coloring",
+    "mis_from_coloring",
+    "is_proper_coloring",
+    "log_star",
+    "peel_orientation",
+    "neighborhood_views",
+    "SparseOrientation",
+]

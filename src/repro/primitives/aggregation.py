@@ -1,0 +1,143 @@
+"""Tree convergecast and broadcast (the paper's 'standard upcast/downcast').
+
+These are the real message-passing counterparts of the cost formulas in
+:mod:`repro.congest.pipelining`: a convergecast combines one word per
+node up a rooted tree in ``depth`` rounds; a broadcast pushes one word
+down in ``depth`` rounds.  They run only over tree edges (the tree must
+be a subgraph of the communication graph).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from ..congest.metrics import RoundMetrics
+from ..congest.network import CongestNetwork
+from ..congest.node import NodeProgram
+from ..planar.graph import Graph, NodeId
+
+__all__ = ["ConvergecastProgram", "BroadcastProgram", "tree_aggregate", "tree_broadcast"]
+
+
+class ConvergecastProgram(NodeProgram):
+    """Combine values up a rooted tree; every node learns its subtree value."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        neighbors: list[NodeId],
+        parent: NodeId | None,
+        children: list[NodeId],
+        value: Any,
+        combine: Callable[[list[Any]], Any],
+    ) -> None:
+        super().__init__(node_id, neighbors)
+        self.parent = parent
+        self.children = list(children)
+        self.value = value
+        self.combine = combine
+        self.received: dict[NodeId, Any] = {}
+        self.subtree_value: Any = None
+        self.sent = False
+        self.done = True  # quiescence-terminated
+
+    def _maybe_send(self) -> dict[NodeId, Any]:
+        if self.sent or len(self.received) < len(self.children):
+            return {}
+        self.sent = True
+        self.subtree_value = self.combine(
+            [self.value] + [self.received[c] for c in self.children]
+        )
+        if self.parent is not None:
+            return {self.parent: ("agg", self.subtree_value)}
+        return {}
+
+    def on_start(self) -> dict[NodeId, Any]:
+        return self._maybe_send()
+
+    def on_round(self, round_no: int, inbox: dict[NodeId, Any]) -> dict[NodeId, Any]:
+        for u, (tag, payload) in inbox.items():
+            if tag == "agg":
+                self.received[u] = payload
+        return self._maybe_send()
+
+    def result(self) -> tuple[Any, dict[NodeId, Any]]:
+        return self.subtree_value, dict(self.received)
+
+
+_UNSET = object()
+
+
+class BroadcastProgram(NodeProgram):
+    """Push a root value down a rooted tree."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        neighbors: list[NodeId],
+        parent: NodeId | None,
+        children: list[NodeId],
+        root_value: Any = None,
+    ) -> None:
+        super().__init__(node_id, neighbors)
+        self.parent = parent
+        self.children = list(children)
+        self.value = root_value if parent is None else _UNSET
+        self.sent = False
+        self.done = True
+
+    def _maybe_send(self) -> dict[NodeId, Any]:
+        if self.value is _UNSET or self.sent:
+            return {}
+        self.sent = True
+        return {c: ("bc", self.value) for c in self.children}
+
+    def on_start(self) -> dict[NodeId, Any]:
+        return self._maybe_send()
+
+    def on_round(self, round_no: int, inbox: dict[NodeId, Any]) -> dict[NodeId, Any]:
+        for _, (tag, payload) in inbox.items():
+            if tag == "bc":
+                self.value = payload
+        return self._maybe_send()
+
+    def result(self) -> Any:
+        return None if self.value is _UNSET else self.value
+
+
+def tree_aggregate(
+    graph: Graph,
+    parent: dict[NodeId, NodeId | None],
+    children: dict[NodeId, list[NodeId]],
+    values: dict[NodeId, Any],
+    combine: Callable[[list[Any]], Any],
+    metrics: RoundMetrics | None = None,
+    phase: str = "convergecast",
+) -> dict[NodeId, tuple[Any, dict[NodeId, Any]]]:
+    """Run a convergecast; each node's result is (subtree value, child values)."""
+    network = CongestNetwork(graph, metrics=metrics)
+    programs = {
+        v: ConvergecastProgram(
+            v, graph.neighbors(v), parent[v], children.get(v, []), values[v], combine
+        )
+        for v in graph.nodes()
+    }
+    return network.run(programs, phase=phase)
+
+
+def tree_broadcast(
+    graph: Graph,
+    parent: dict[NodeId, NodeId | None],
+    children: dict[NodeId, list[NodeId]],
+    root_value: Any,
+    metrics: RoundMetrics | None = None,
+    phase: str = "broadcast",
+) -> dict[NodeId, Any]:
+    """Broadcast ``root_value`` down the tree; every node's result is the value."""
+    network = CongestNetwork(graph, metrics=metrics)
+    programs = {
+        v: BroadcastProgram(v, graph.neighbors(v), parent[v], children.get(v, []), root_value)
+        for v in graph.nodes()
+    }
+    return network.run(programs, phase=phase)

@@ -1,0 +1,122 @@
+"""Distributed BFS tree construction.
+
+The global BFS tree ``T`` rooted at ``s*`` is the backbone of the whole
+embedding algorithm (Section 4): recursion operates on its subtrees, and
+``P0`` parts are BFS tree paths (whose induced-path property powers
+Lemma 4.1).  BFS also gives every node ``n`` and a 2-approximation of
+``D`` "in O(D) rounds" (Section 2); we expose those too.
+
+The construction is the textbook layered flood: the root announces layer
+0; an unassigned node adopts the minimum-ID neighbor among its first
+offers as parent and re-floods.  Children discover themselves via
+explicit join messages, so afterwards each node knows parent, children,
+and depth — exactly the local knowledge the recursion needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..congest.metrics import RoundMetrics
+from ..congest.network import CongestNetwork
+from ..congest.node import NodeProgram
+from ..planar.graph import Graph, NodeId
+
+__all__ = ["BfsProgram", "BfsTree", "build_bfs_tree"]
+
+
+@dataclass
+class BfsTree:
+    """The global outcome of a BFS execution (assembled from local results)."""
+
+    root: NodeId
+    parent: dict[NodeId, NodeId | None]
+    children: dict[NodeId, list[NodeId]]
+    depth_of: dict[NodeId, int]
+    depth: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.depth = max(self.depth_of.values(), default=0)
+
+    def subtree_nodes(self, s: NodeId) -> set[NodeId]:
+        """All nodes of the subtree ``T_s`` rooted at ``s``."""
+        nodes = {s}
+        stack = [s]
+        while stack:
+            v = stack.pop()
+            for c in self.children.get(v, ()):
+                nodes.add(c)
+                stack.append(c)
+        return nodes
+
+    def path_to_descendant(self, s: NodeId, v: NodeId) -> list[NodeId]:
+        """The tree path from ``s`` down to its descendant ``v``."""
+        path = [v]
+        while path[-1] != s:
+            p = self.parent[path[-1]]
+            if p is None:
+                raise ValueError(f"{v!r} is not a descendant of {s!r}")
+            path.append(p)
+        path.reverse()
+        return path
+
+    def subtree_depth(self, s: NodeId) -> int:
+        """Depth of the subtree rooted at ``s`` (0 for a leaf)."""
+        base = self.depth_of[s]
+        return max(self.depth_of[v] for v in self.subtree_nodes(s)) - base
+
+
+class BfsProgram(NodeProgram):
+    """Per-node BFS participant."""
+
+    def __init__(self, node_id: NodeId, neighbors: list[NodeId], root: NodeId) -> None:
+        super().__init__(node_id, neighbors)
+        self.root = root
+        self.parent: NodeId | None = None
+        self.depth: int | None = 0 if node_id == root else None
+        self.children: list[NodeId] = []
+        self.done = True  # quiescence-terminated
+
+    def on_start(self) -> dict[NodeId, Any]:
+        if self.node_id == self.root:
+            return {u: ("layer", 0) for u in self.neighbors}
+        return {}
+
+    def on_round(self, round_no: int, inbox: dict[NodeId, Any]) -> dict[NodeId, Any]:
+        outbox: dict[NodeId, Any] = {}
+        offers = {u: d for u, (tag, d) in inbox.items() if tag == "layer"}
+        for u, (tag, _) in inbox.items():
+            if tag == "join":
+                self.children.append(u)
+        if self.depth is None and offers:
+            parent = min(offers)  # deterministic tie-break: smallest ID
+            self.parent = parent
+            self.depth = offers[parent] + 1
+            outbox[parent] = ("join", 0)
+            for u in self.neighbors:
+                if u != parent:
+                    outbox[u] = ("layer", self.depth)
+        return outbox
+
+    def result(self) -> tuple[NodeId | None, int | None, list[NodeId]]:
+        return (self.parent, self.depth, sorted(self.children, key=repr))
+
+
+def build_bfs_tree(
+    graph: Graph, root: NodeId, metrics: RoundMetrics | None = None
+) -> BfsTree:
+    """Run distributed BFS from ``root``; O(D) real rounds."""
+    network = CongestNetwork(graph, metrics=metrics)
+    programs = {v: BfsProgram(v, graph.neighbors(v), root) for v in graph.nodes()}
+    results = network.run(programs, phase="bfs")
+    parent: dict[NodeId, NodeId | None] = {}
+    children: dict[NodeId, list[NodeId]] = {}
+    depth_of: dict[NodeId, int] = {}
+    for v, (p, d, ch) in results.items():
+        if d is None:
+            raise ValueError(f"graph is disconnected: {v!r} unreached from {root!r}")
+        parent[v] = p
+        children[v] = ch
+        depth_of[v] = d
+    return BfsTree(root=root, parent=parent, children=children, depth_of=depth_of)

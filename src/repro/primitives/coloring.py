@@ -1,0 +1,150 @@
+"""Cole-Vishkin color reduction and MIS on paths / linear forests.
+
+The symmetry-breaking machinery of Lemma 5.3 needs two classic tools on
+path-shaped structures (the neighborhoods arising in outerplanar graphs
+induce linear forests):
+
+* reduce an arbitrary proper coloring to a 3-coloring in
+  ``O(log* n)`` synchronous steps (Cole-Vishkin bit tricks, then the
+  standard 6 -> 3 class elimination), and
+* extract a maximal independent set from a 3-coloring in 3 steps.
+
+The functions operate on an explicit linear forest (each node has at most
+two neighbors) and return, along with their output, the number of
+synchronous steps a distributed execution would need — each step is a
+single exchange with direct neighbors, so the paper's Remark 1 converts
+it to ``O(D)`` real rounds per step when nodes are parts.
+"""
+
+from __future__ import annotations
+
+from ..planar.graph import Graph, NodeId
+
+__all__ = [
+    "is_proper_coloring",
+    "cole_vishkin_3coloring",
+    "mis_from_coloring",
+    "log_star",
+]
+
+
+def log_star(n: int) -> int:
+    """The iterated logarithm (number of log2 application to reach <= 1)."""
+    count = 0
+    x = float(n)
+    while x > 1.0:
+        import math
+
+        x = math.log2(x)
+        count += 1
+    return count
+
+
+def is_proper_coloring(graph: Graph, colors: dict[NodeId, int]) -> bool:
+    """True iff adjacent nodes always have different colors."""
+    return all(colors[u] != colors[v] for u, v in graph.edges())
+
+
+def _check_linear_forest(graph: Graph) -> None:
+    for v in graph.nodes():
+        if graph.degree(v) > 2:
+            raise ValueError(f"not a linear forest: {v!r} has degree {graph.degree(v)}")
+    n = graph.num_nodes
+    if graph.num_edges > max(0, n - 1):
+        raise ValueError("not a linear forest: contains a cycle")
+    # A degree-<=2 graph with <= n-1 edges could still contain a cycle plus
+    # isolated vertices; check components explicitly.
+    for comp in graph.connected_components():
+        sub_edges = sum(1 for u, v in graph.edges() if u in comp)
+        if sub_edges >= len(comp) and len(comp) > 1:
+            raise ValueError("not a linear forest: contains a cycle")
+
+
+def cole_vishkin_3coloring(
+    graph: Graph, colors: dict[NodeId, int]
+) -> tuple[dict[NodeId, int], int]:
+    """Reduce a proper coloring of a linear forest to colors ``{0, 1, 2}``.
+
+    Returns the new coloring and the number of synchronous steps used;
+    the step count is ``O(log* C)`` for an initial palette of size ``C``
+    plus the constant 6 -> 3 elimination.
+    """
+    _check_linear_forest(graph)
+    if not is_proper_coloring(graph, colors):
+        raise ValueError("initial coloring is not proper")
+    colors = dict(colors)
+    steps = 0
+
+    # Orient each path: successor = the neighbor with larger ID (unique
+    # because degree <= 2 gives at most one larger and one smaller
+    # neighbor only on monotone paths; instead, orient by scanning each
+    # path from a fixed endpoint so every node has <= 1 successor).
+    successor: dict[NodeId, NodeId | None] = {v: None for v in graph.nodes()}
+    visited: set[NodeId] = set()
+    for start in graph.nodes():
+        if start in visited or graph.degree(start) == 2:
+            continue
+        # endpoint (degree 0 or 1) of a path: walk along it
+        prev = None
+        cur = start
+        while True:
+            visited.add(cur)
+            nxts = [u for u in graph.neighbors(cur) if u != prev]
+            if not nxts:
+                break
+            successor[cur] = nxts[0]
+            prev, cur = cur, nxts[0]
+
+    # Cole-Vishkin bit reduction until the palette fits in {0..5}.
+    while max(colors.values(), default=0) >= 6:
+        new_colors: dict[NodeId, int] = {}
+        for v in graph.nodes():
+            succ = successor[v]
+            own = colors[v]
+            other = colors[succ] if succ is not None else (0 if own != 0 else 1)
+            diff_bit = (own ^ other) & -(own ^ other)  # lowest set bit
+            i = diff_bit.bit_length() - 1
+            new_colors[v] = 2 * i + ((own >> i) & 1)
+        colors = new_colors
+        steps += 1
+        if not is_proper_coloring(graph, colors):  # pragma: no cover - invariant
+            raise AssertionError("Cole-Vishkin step broke properness")
+
+    # Eliminate classes 5, 4, 3 one synchronous step each.
+    for c in (5, 4, 3):
+        step_colors = dict(colors)
+        for v in graph.nodes():
+            if colors[v] != c:
+                continue
+            forbidden = {colors[u] for u in graph.neighbors(v)}
+            step_colors[v] = min(x for x in (0, 1, 2) if x not in forbidden)
+        colors = step_colors
+        steps += 1
+        if not is_proper_coloring(graph, colors):  # pragma: no cover - invariant
+            raise AssertionError("class elimination broke properness")
+    return colors, steps
+
+
+def mis_from_coloring(
+    graph: Graph, colors: dict[NodeId, int], palette: int = 3
+) -> tuple[set[NodeId], int]:
+    """A maximal independent set from a proper coloring, by color classes.
+
+    ``palette`` synchronous steps: in step ``c`` every still-free node of
+    color ``c`` with no neighbor already in the MIS joins it.
+    """
+    if not is_proper_coloring(graph, colors):
+        raise ValueError("coloring is not proper")
+    mis: set[NodeId] = set()
+    for c in range(palette):
+        for v in graph.nodes():
+            if colors[v] == c and not any(u in mis for u in graph.neighbors(v)):
+                mis.add(v)
+    # maximality + independence are structural; assert cheaply
+    for u, v in graph.edges():
+        if u in mis and v in mis:  # pragma: no cover - invariant
+            raise AssertionError("MIS not independent")
+    for v in graph.nodes():
+        if v not in mis and not any(u in mis for u in graph.neighbors(v)):
+            raise AssertionError("MIS not maximal")  # pragma: no cover - invariant
+    return mis, palette

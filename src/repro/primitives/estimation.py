@@ -1,0 +1,75 @@
+"""Distributed estimation of n and D (paper Section 2).
+
+"Note that in O(D) rounds, nodes can easily compute both the number of
+nodes n and a 2-approximation of D, using a BFS.  Thus, these will be
+assumed known throughout the paper."
+
+This module is that preamble, as real message passing: a BFS from the
+leader, a convergecast counting nodes and measuring the BFS height, and
+a broadcast distributing (n, 2-approx of D) to everyone.  The
+2-approximation is the standard one: the BFS eccentricity ``ecc(root)``
+satisfies ``ecc <= D <= 2*ecc``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..congest.metrics import RoundMetrics
+from ..planar.graph import Graph
+from .aggregation import tree_aggregate, tree_broadcast
+from .bfs import build_bfs_tree
+from .leader import elect_leader
+
+__all__ = ["NetworkEstimate", "estimate_network"]
+
+
+@dataclass(frozen=True)
+class NetworkEstimate:
+    """What every node knows after the O(D) preamble."""
+
+    n: int
+    diameter_lower: int  # ecc(root) <= D
+    diameter_upper: int  # 2 * ecc(root) >= D
+    leader: object
+
+
+def estimate_network(graph: Graph, metrics: RoundMetrics | None = None) -> NetworkEstimate:
+    """Run the Section 2 preamble; every node ends up knowing (n, ~D)."""
+    if graph.num_nodes == 0:
+        raise ValueError("empty network")
+    if graph.num_nodes == 1:
+        (v,) = graph.nodes()
+        return NetworkEstimate(n=1, diameter_lower=0, diameter_upper=0, leader=v)
+    leader = elect_leader(graph, metrics=metrics)
+    tree = build_bfs_tree(graph, leader, metrics=metrics)
+
+    def combine(items):
+        own_count, _ = items[0]
+        count = own_count + sum(c for c, _ in items[1:])
+        height = 1 + max((h for _, h in items[1:]), default=-1)
+        return (count, height)
+
+    results = tree_aggregate(
+        graph,
+        tree.parent,
+        tree.children,
+        {v: (1, 0) for v in graph.nodes()},
+        combine,
+        metrics=metrics,
+        phase="estimate-n-D",
+    )
+    n, ecc = results[leader][0]
+    received = tree_broadcast(
+        graph,
+        tree.parent,
+        tree.children,
+        root_value=(n, ecc),
+        metrics=metrics,
+        phase="estimate-n-D",
+    )
+    if any(received[v] != (n, ecc) for v in graph.nodes()):  # pragma: no cover
+        raise AssertionError("broadcast did not reach every node")
+    return NetworkEstimate(
+        n=n, diameter_lower=ecc, diameter_upper=2 * ecc, leader=leader
+    )

@@ -1,0 +1,54 @@
+"""Leader election by max-ID flooding.
+
+The paper picks the starting vertex ``s*`` of the embedding as "the
+vertex with the largest ID, which can be computed in O(D) rounds"
+(Section 4).  Each node floods the best identifier it has seen and
+forwards improvements only, so the execution quiesces after exactly
+``ecc(s*)`` rounds — the simulator's emergent round count is the real
+flooding time, not an asserted bound.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..congest.metrics import RoundMetrics
+from ..congest.network import run_program
+from ..congest.node import NodeProgram
+from ..planar.graph import Graph, NodeId
+
+__all__ = ["MaxIdFloodProgram", "elect_leader"]
+
+
+class MaxIdFloodProgram(NodeProgram):
+    """Track and forward the largest node ID seen so far."""
+
+    def __init__(self, node_id: NodeId, neighbors: list[NodeId]) -> None:
+        super().__init__(node_id, neighbors)
+        self.best = node_id
+        self.done = True  # quiescence-terminated
+
+    def on_start(self) -> dict[NodeId, Any]:
+        return {u: self.best for u in self.neighbors}
+
+    def on_round(self, round_no: int, inbox: dict[NodeId, Any]) -> dict[NodeId, Any]:
+        improved = False
+        for candidate in inbox.values():
+            if candidate > self.best:
+                self.best = candidate
+                improved = True
+        if improved:
+            return {u: self.best for u in self.neighbors}
+        return {}
+
+    def result(self) -> NodeId:
+        return self.best
+
+
+def elect_leader(graph: Graph, metrics: RoundMetrics | None = None) -> NodeId:
+    """Elect the max-ID node of a connected graph; O(D) real rounds."""
+    if graph.num_nodes == 0:
+        raise ValueError("cannot elect a leader of an empty graph")
+    results = run_program(graph, MaxIdFloodProgram, metrics=metrics, phase="leader-election")
+    (leader,) = set(results.values())
+    return leader

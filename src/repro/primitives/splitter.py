@@ -1,0 +1,122 @@
+"""The 2/3-balanced splitter vertex of a rooted tree.
+
+Section 4: "We find a vertex ``v ∈ T_s`` such that when we remove ``v``
+from ``T_s``, each of the remaining components has size at most
+``2|T_s|/3``.  Note that such a vertex always exists and furthermore, it
+can be computed distributedly in O(d) time where ``d = depth(T_s)``."
+
+The classical construction: walk down from the root, always moving into a
+child whose subtree still holds at least ``|T_s|/3`` vertices; the walk
+stops at the *deepest* vertex ``v`` with ``|T_v| >= |T_s|/3``.  Every
+child component of ``v`` then has ``< |T_s|/3 <= 2|T_s|/3`` vertices and
+the component above ``v`` has ``<= |T_s| - |T_s|/3 <= 2|T_s|/3``.
+
+The distributed version is a token walk: after the subtree-size
+convergecast (each parent knows its children's sizes), the root launches
+a token that hops to a qualifying child until none exists — at most
+``depth`` additional real rounds.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..congest.metrics import RoundMetrics
+from ..congest.network import CongestNetwork
+from ..congest.node import NodeProgram
+from ..planar.graph import Graph, NodeId
+from .subtree import SubtreeStats, compute_subtree_stats
+
+__all__ = ["SplitterWalkProgram", "find_splitter", "splitter_components"]
+
+
+class SplitterWalkProgram(NodeProgram):
+    """One hop of the token walk toward the splitter vertex."""
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        neighbors: list[NodeId],
+        root: NodeId,
+        child_sizes: dict[NodeId, int],
+        threshold: int,
+    ) -> None:
+        super().__init__(node_id, neighbors)
+        self.root = root
+        self.child_sizes = child_sizes
+        self.threshold = threshold
+        self.is_splitter = False
+        self.done = True  # quiescence-terminated
+
+    def _handle_token(self) -> dict[NodeId, Any]:
+        eligible = {c: s for c, s in self.child_sizes.items() if 3 * s >= self.threshold}
+        if not eligible:
+            self.is_splitter = True
+            return {}
+        target = max(eligible, key=lambda c: (eligible[c], repr(c)))
+        return {target: ("token", 0)}
+
+    def on_start(self) -> dict[NodeId, Any]:
+        if self.node_id == self.root:
+            return self._handle_token()
+        return {}
+
+    def on_round(self, round_no: int, inbox: dict[NodeId, Any]) -> dict[NodeId, Any]:
+        for _, (tag, _) in inbox.items():
+            if tag == "token":
+                return self._handle_token()
+        return {}
+
+    def result(self) -> bool:
+        return self.is_splitter
+
+
+def find_splitter(
+    tree_graph: Graph,
+    root: NodeId,
+    parent: dict[NodeId, NodeId | None],
+    children: dict[NodeId, list[NodeId]],
+    metrics: RoundMetrics | None = None,
+    stats: SubtreeStats | None = None,
+) -> NodeId:
+    """Find the 2/3 splitter of the tree distributedly (O(depth) rounds)."""
+    if stats is None:
+        stats = compute_subtree_stats(tree_graph, parent, children, metrics=metrics)
+    total = stats.size[root]
+    network = CongestNetwork(tree_graph, metrics=metrics)
+    programs = {
+        v: SplitterWalkProgram(
+            v, tree_graph.neighbors(v), root, stats.child_sizes[v], total
+        )
+        for v in tree_graph.nodes()
+    }
+    results = network.run(programs, phase="splitter-walk")
+    splitters = [v for v, hit in results.items() if hit]
+    if len(splitters) != 1:
+        raise AssertionError(f"token walk produced {len(splitters)} splitters")
+    return splitters[0]
+
+
+def splitter_components(
+    root: NodeId,
+    splitter: NodeId,
+    parent: dict[NodeId, NodeId | None],
+    children: dict[NodeId, list[NodeId]],
+    subtree_nodes: set[NodeId],
+) -> list[set[NodeId]]:
+    """The components of ``T_s`` minus the splitter (for Lemma 4.2 checks)."""
+    components: list[set[NodeId]] = []
+    for c in children.get(splitter, ()):
+        comp: set[NodeId] = set()
+        stack = [c]
+        while stack:
+            v = stack.pop()
+            comp.add(v)
+            stack.extend(children.get(v, ()))
+        components.append(comp)
+    above = set(subtree_nodes) - {splitter} - set().union(*components) if components else set(
+        subtree_nodes
+    ) - {splitter}
+    if above:
+        components.append(above)
+    return components

@@ -1,0 +1,60 @@
+"""Subtree sizes and heights via convergecast.
+
+A recursive call of the embedding algorithm owns a BFS subtree ``T_s``;
+before it can pick the 2/3-balanced splitter vertex (Section 4, "The
+Partitioning") every vertex must know the size of its own subtree and a
+parent must know each child's.  One convergecast of (size, height) pairs
+— ``depth(T_s)`` real rounds — provides both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..congest.metrics import RoundMetrics
+from ..planar.graph import Graph, NodeId
+from .aggregation import tree_aggregate
+
+__all__ = ["SubtreeStats", "compute_subtree_stats"]
+
+
+@dataclass
+class SubtreeStats:
+    """Per-node subtree knowledge after the convergecast."""
+
+    size: dict[NodeId, int]
+    height: dict[NodeId, int]
+    child_sizes: dict[NodeId, dict[NodeId, int]]
+
+    @property
+    def total(self) -> int:
+        return max(self.size.values(), default=0)
+
+
+def compute_subtree_stats(
+    tree_graph: Graph,
+    parent: dict[NodeId, NodeId | None],
+    children: dict[NodeId, list[NodeId]],
+    metrics: RoundMetrics | None = None,
+) -> SubtreeStats:
+    """Convergecast (size, height) over a rooted tree; depth real rounds."""
+    values = {v: (1, 0) for v in tree_graph.nodes()}
+
+    def combine(items: list[tuple[int, int]]) -> tuple[int, int]:
+        own_size, _ = items[0]
+        size = own_size + sum(s for s, _ in items[1:])
+        height = 1 + max((h for _, h in items[1:]), default=-1)
+        return (size, height)
+
+    results = tree_aggregate(
+        tree_graph, parent, children, values, combine, metrics=metrics, phase="subtree-stats"
+    )
+    size: dict[NodeId, int] = {}
+    height: dict[NodeId, int] = {}
+    child_sizes: dict[NodeId, dict[NodeId, int]] = {}
+    for v, (subtree_value, received) in results.items():
+        s, h = subtree_value
+        size[v] = s
+        height[v] = h
+        child_sizes[v] = {c: payload[0] for c, payload in received.items()}
+    return SubtreeStats(size=size, height=height, child_sizes=child_sizes)

@@ -1,0 +1,51 @@
+"""Word/bit accounting of CONGEST payloads."""
+
+import pytest
+
+from repro.congest import payload_bits, payload_words, word_bits
+
+
+class TestWordBits:
+    def test_small_networks(self):
+        assert word_bits(1) == 3
+        assert word_bits(2) == 4  # ceil(log2 3) + 2
+
+    def test_growth_is_logarithmic(self):
+        assert word_bits(1024) == 13  # ceil(log2 1025) + 2 = 11 + 2
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            word_bits(0)
+
+
+class TestPayloadWords:
+    def test_atoms(self):
+        assert payload_words(None) == 1
+        assert payload_words(True) == 1
+        assert payload_words(0) == 1
+        assert payload_words(7) == 1
+        assert payload_words(3.14) >= 2
+
+    def test_big_int_costs_more_words(self):
+        assert payload_words(2**100, bits_per_word=32) == 4
+
+    def test_tuple_is_sum(self):
+        assert payload_words((1, 2, 3)) == 3
+        assert payload_words(((1, 2), 3)) == 3
+
+    def test_string_by_length(self):
+        assert payload_words("abcd") == 1
+        assert payload_words("abcdefgh") == 2
+
+    def test_dict(self):
+        assert payload_words({1: 2, 3: 4}) == 4
+
+    def test_set_is_deterministic(self):
+        assert payload_words({3, 1, 2}) == 3
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            payload_words(object())
+
+    def test_payload_bits_scales_with_n(self):
+        assert payload_bits((1, 2), n=1000) == 2 * word_bits(1000)

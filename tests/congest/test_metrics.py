@@ -1,0 +1,62 @@
+"""Round ledgers: real rounds, charges, and composition rules."""
+
+import pytest
+
+from repro.congest import RoundMetrics
+
+
+def test_record_round():
+    m = RoundMetrics()
+    m.record_round(messages=5, words=9, max_edge_words=3)
+    m.record_round(messages=1, words=1, max_edge_words=1)
+    assert m.rounds == 2
+    assert m.messages == 6
+    assert m.total_words == 10
+    assert m.max_words_edge_round == 3
+
+
+def test_charge_with_provenance():
+    m = RoundMetrics()
+    m.charge("merge:star", 12, words=40, detail="3 leaves")
+    assert m.rounds == 12
+    assert m.phase_rounds["merge:star"] == 12
+    assert m.charges[0].detail == "3 leaves"
+
+
+def test_charge_negative_rejected():
+    with pytest.raises(ValueError):
+        RoundMetrics().charge("x", -1)
+
+
+def test_absorb_parallel_takes_max():
+    m = RoundMetrics()
+    b1, b2 = RoundMetrics(), RoundMetrics()
+    b1.charge("a", 10, words=5)
+    b2.charge("a", 3, words=7)
+    m.absorb_parallel([b1, b2], phase="recursion")
+    assert m.rounds == 10  # parallel branches: max
+    assert m.total_words == 12  # traffic always adds
+    assert m.phase_rounds["recursion"] == 10
+
+
+def test_absorb_parallel_empty_is_noop():
+    m = RoundMetrics()
+    m.absorb_parallel([], phase="recursion")
+    assert m.rounds == 0
+
+
+def test_absorb_serial_adds():
+    m = RoundMetrics()
+    m.charge("x", 5)
+    other = RoundMetrics()
+    other.charge("x", 7)
+    other.record_round(2, 2, 1)
+    m.absorb_serial(other)
+    assert m.rounds == 13
+    assert m.phase_rounds["x"] == 12
+
+
+def test_summary_mentions_phases():
+    m = RoundMetrics()
+    m.charge("bfs", 4)
+    assert "bfs" in m.summary()

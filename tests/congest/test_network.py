@@ -1,0 +1,122 @@
+"""The synchronous CONGEST round loop: delivery, bandwidth, quiescence."""
+
+import pytest
+
+from repro.congest import (
+    BandwidthExceededError,
+    CongestNetwork,
+    NodeProgram,
+    ProtocolViolationError,
+    RoundLimitExceededError,
+    RoundMetrics,
+    run_program,
+)
+from repro.planar import Graph
+from repro.planar.generators import path_graph
+
+
+class EchoOnce(NodeProgram):
+    """Round 1: everyone pings neighbors; afterwards just record."""
+
+    def __init__(self, node_id, neighbors):
+        super().__init__(node_id, neighbors)
+        self.heard = {}
+        self.done = True
+
+    def on_start(self):
+        return {u: ("ping", self.node_id) for u in self.neighbors}
+
+    def on_round(self, round_no, inbox):
+        self.heard.update(inbox)
+        return {}
+
+    def result(self):
+        return sorted(self.heard)
+
+
+class TestDelivery:
+    def test_messages_arrive_next_round(self):
+        g = path_graph(3)
+        results = run_program(g, EchoOnce)
+        assert results[0] == [1]
+        assert results[1] == [0, 2]
+
+    def test_round_count_emergent(self):
+        g = path_graph(4)
+        m = RoundMetrics()
+        run_program(g, EchoOnce, metrics=m)
+        assert m.rounds == 1  # one round of sends
+        assert m.messages == 2 * g.num_edges
+
+
+class TestEnforcement:
+    def test_bandwidth_enforced(self):
+        class Blaster(EchoOnce):
+            def on_start(self):
+                return {u: tuple(range(100)) for u in self.neighbors}
+
+        with pytest.raises(BandwidthExceededError):
+            run_program(path_graph(2), Blaster, bandwidth_words=8)
+
+    def test_send_to_non_neighbor_rejected(self):
+        class Cheater(EchoOnce):
+            def on_start(self):
+                return {self.node_id + 2: "hi"} if self.node_id == 0 else {}
+
+        with pytest.raises(ProtocolViolationError):
+            run_program(path_graph(3), Cheater)
+
+    def test_round_limit(self):
+        class Chatter(NodeProgram):
+            def __init__(self, node_id, neighbors):
+                super().__init__(node_id, neighbors)
+                self.done = True
+
+            def on_start(self):
+                return {u: 1 for u in self.neighbors}
+
+            def on_round(self, round_no, inbox):
+                return {u: 1 for u in self.neighbors}  # never quiesces
+
+        net = CongestNetwork(path_graph(2))
+        programs = {v: Chatter(v, [1 - v]) for v in (0, 1)}
+        with pytest.raises(RoundLimitExceededError):
+            net.run(programs, max_rounds=10)
+
+    def test_programs_must_cover_nodes(self):
+        net = CongestNetwork(path_graph(3))
+        with pytest.raises(ProtocolViolationError):
+            net.run({0: EchoOnce(0, [1])})
+
+
+class TestQuiescence:
+    def test_terminates_when_all_done_and_silent(self):
+        class Silent(NodeProgram):
+            def __init__(self, node_id, neighbors):
+                super().__init__(node_id, neighbors)
+                self.done = True
+
+            def on_round(self, round_no, inbox):
+                return {}
+
+        m = RoundMetrics()
+        run_program(path_graph(5), Silent, metrics=m)
+        assert m.rounds == 0
+
+    def test_not_done_blocks_termination(self):
+        class CountDown(NodeProgram):
+            def __init__(self, node_id, neighbors):
+                super().__init__(node_id, neighbors)
+                self.ticks = 0
+
+            def on_round(self, round_no, inbox):
+                self.ticks += 1
+                if self.ticks >= 3:
+                    self.done = True
+                return {}
+
+            def result(self):
+                return self.ticks
+
+        results = run_program(path_graph(2), CountDown)
+        assert all(t >= 3 for t in results.values())

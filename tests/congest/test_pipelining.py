@@ -1,0 +1,53 @@
+"""Exact pipelined communication cost formulas."""
+
+import pytest
+
+from repro.congest import (
+    aggregate_rounds,
+    broadcast_rounds,
+    convergecast_rounds,
+    gather_scatter_rounds,
+    stream_rounds,
+)
+
+
+class TestStream:
+    def test_single_word(self):
+        assert stream_rounds(hops=5, words=1) == 5
+
+    def test_pipelining(self):
+        # d + W - 1: the classic pipeline fill + drain.
+        assert stream_rounds(hops=5, words=10) == 14
+
+    def test_bandwidth_divides(self):
+        assert stream_rounds(hops=5, words=10, bandwidth=2) == 9
+        assert stream_rounds(hops=5, words=10, bandwidth=10) == 5
+
+    def test_zero_cases(self):
+        assert stream_rounds(0, 10) == 0
+        assert stream_rounds(10, 0) == 0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            stream_rounds(-1, 1)
+        with pytest.raises(ValueError):
+            stream_rounds(1, 1, bandwidth=0)
+
+
+def test_convergecast_equals_stream():
+    assert convergecast_rounds(7, 20) == stream_rounds(7, 20)
+
+
+def test_broadcast_equals_stream():
+    assert broadcast_rounds(7, 20) == stream_rounds(7, 20)
+
+
+def test_aggregate_up_down():
+    assert aggregate_rounds(6) == 12
+    assert aggregate_rounds(6, repetitions=3) == 36
+    with pytest.raises(ValueError):
+        aggregate_rounds(-1)
+
+
+def test_gather_scatter_sum():
+    assert gather_scatter_rounds(4, 10, 6) == stream_rounds(4, 10) + stream_rounds(4, 6)

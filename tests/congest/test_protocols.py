@@ -1,0 +1,166 @@
+"""Multi-round protocols on the simulator: richer executions than the
+single-shot programs, validating ordering, pipelining, and termination."""
+
+from typing import Any
+
+from repro.congest import CongestNetwork, NodeProgram, RoundMetrics
+from repro.planar import Graph
+from repro.planar.generators import cycle_graph, grid_graph, path_graph
+
+
+class TokenRing(NodeProgram):
+    """Pass a counter token around a cycle exactly ``laps`` times."""
+
+    def __init__(self, node_id, neighbors, laps, n):
+        super().__init__(node_id, neighbors)
+        self.laps = laps
+        self.n = n
+        self.seen = 0
+        self.done = node_id != 0
+
+    def _successor(self):
+        return (self.node_id + 1) % self.n
+
+    def on_start(self):
+        if self.node_id == 0:
+            return {self._successor(): ("token", 1)}
+        return {}
+
+    def on_round(self, round_no, inbox):
+        for _, (tag, count) in inbox.items():
+            if tag != "token":
+                continue
+            self.seen += 1
+            if self.node_id == 0:
+                if count >= self.laps * self.n:
+                    self.done = True
+                    return {}
+                self.done = False
+            return {self._successor(): ("token", count + 1)}
+        return {}
+
+    def result(self):
+        return self.seen
+
+
+def test_token_ring_rounds_exact():
+    n, laps = 10, 3
+    g = cycle_graph(n)
+    m = RoundMetrics()
+    net = CongestNetwork(g, metrics=m)
+    programs = {v: TokenRing(v, g.neighbors(v), laps, n) for v in g.nodes()}
+    results = net.run(programs)
+    assert m.rounds == laps * n
+    assert all(results[v] == laps for v in range(1, n))
+
+
+class PipelinedSend(NodeProgram):
+    """Stream ``k`` words from node 0 down a path, one word per round."""
+
+    def __init__(self, node_id, neighbors, k, n):
+        super().__init__(node_id, neighbors)
+        self.k = k
+        self.n = n
+        self.received: list[int] = []
+        self.to_send = list(range(k)) if node_id == 0 else []
+        self.done = True
+
+    def on_start(self):
+        return self._send()
+
+    def _send(self) -> dict[Any, Any]:
+        if self.to_send and self.node_id + 1 < self.n:
+            return {self.node_id + 1: ("w", self.to_send.pop(0))}
+        return {}
+
+    def on_round(self, round_no, inbox):
+        for _, (tag, w) in inbox.items():
+            if tag == "w":
+                self.received.append(w)
+                self.to_send.append(w)  # store-and-forward
+        return self._send()
+
+    def result(self):
+        return self.received
+
+
+def test_pipelined_stream_matches_formula():
+    """Streaming k words over a path of h hops takes h + k - 1 rounds —
+    the exact formula the cost model charges."""
+    from repro.congest import stream_rounds
+
+    n, k = 8, 5
+    g = path_graph(n)
+    m = RoundMetrics()
+    net = CongestNetwork(g, metrics=m)
+    programs = {v: PipelinedSend(v, g.neighbors(v), k, n) for v in g.nodes()}
+    results = net.run(programs)
+    assert results[n - 1] == list(range(k))  # in-order delivery
+    assert m.rounds == stream_rounds(n - 1, k)
+
+
+class FloodWithEcho(NodeProgram):
+    """Flood from a root; leaves echo; root learns when all echoed."""
+
+    def __init__(self, node_id, neighbors, root):
+        super().__init__(node_id, neighbors)
+        self.root = root
+        self.parent = None
+        self.reached = node_id == root
+        self.pending: set = set()
+        self.echoed = False
+        self.done = True
+
+    def on_start(self):
+        if self.node_id == self.root:
+            self.pending = set(self.neighbors)
+            return {u: ("flood", 0) for u in self.neighbors}
+        return {}
+
+    def on_round(self, round_no, inbox):
+        out = {}
+        flooders = {u for u, (tag, _) in inbox.items() if tag == "flood"}
+        for u, (tag, _) in inbox.items():
+            if tag == "echo":
+                self.pending.discard(u)
+        if flooders and not self.reached:
+            self.reached = True
+            self.parent = min(flooders)
+            # anyone who flooded us is already reached: echo them instead
+            # of flooding back (one message per edge per round).
+            for w in flooders - {self.parent}:
+                out[w] = ("echo", 0)
+            rest = [
+                w for w in self.neighbors if w != self.parent and w not in flooders
+            ]
+            self.pending = set(rest)
+            for w in rest:
+                out[w] = ("flood", 0)
+        elif flooders and self.reached:
+            for u in flooders:
+                out[u] = ("echo", 0)  # reject: already have a parent
+                self.pending.discard(u)  # a flooder is reached; no echo will come
+        if (
+            self.reached
+            and not self.pending
+            and not self.echoed
+            and self.parent is not None
+        ):
+            self.echoed = True
+            out[self.parent] = ("echo", 0)
+        return out
+
+    def result(self):
+        return self.reached and not self.pending
+
+
+def test_flood_echo_terminates_everywhere():
+    g = grid_graph(5, 5)
+    m = RoundMetrics()
+    net = CongestNetwork(g, metrics=m)
+    programs = {v: FloodWithEcho(v, g.neighbors(v), 0) for v in g.nodes()}
+    results = net.run(programs)
+    assert results[0] is True
+    assert all(results.values())
+    # flood down + echo up: <= ~2 * (diameter + 2)
+    assert m.rounds <= 2 * (8 + 3)

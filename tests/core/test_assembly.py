@@ -1,0 +1,117 @@
+"""Pendant / two-terminal insertion and copy expansion."""
+
+import pytest
+
+from repro.core import expand_copies, fresh_part, insert_pendant, insert_two_terminal
+from repro.core.assembly import AssemblyError, is_copy
+from repro.planar import Graph, RotationSystem
+from repro.planar.generators import cycle_graph, grid_graph, path_graph
+from repro.planar.lr_planarity import planar_embedding
+
+
+class TestInsertPendant:
+    def test_pendant_path_into_grid(self):
+        host = fresh_part(grid_graph(3, 3), [])
+        pendant_graph = Graph(edges=[(100, 101), (101, 102)])
+        pendant = fresh_part(pendant_graph, [(100, 4), (102, 4)])
+        merged = insert_pendant(host, 4, pendant)
+        assert merged.graph.has_edge(100, 4)
+        assert merged.graph.has_edge(102, 4)
+        assert merged.rotation.genus() == 0
+        assert 101 in merged.vertices
+
+    def test_pendant_preserves_host_boundary(self):
+        host = fresh_part(path_graph(4), [(0, 900)])
+        pendant = fresh_part(Graph(nodes=[50]), [(50, 2)])
+        merged = insert_pendant(host, 2, pendant)
+        assert merged.boundary == [(0, 900)]
+        assert merged.rotation.genus() == 0
+
+    def test_bad_anchor_rejected(self):
+        host = fresh_part(path_graph(3), [])
+        pendant = fresh_part(Graph(nodes=[50]), [(50, 77)])
+        with pytest.raises(ValueError):
+            insert_pendant(host, 77, pendant)
+
+    def test_pendant_with_wrong_targets_rejected(self):
+        host = fresh_part(path_graph(3), [])
+        pendant = fresh_part(Graph(nodes=[50]), [(50, 1), (50, 2)])
+        with pytest.raises(ValueError):
+            insert_pendant(host, 1, pendant)
+
+
+class TestInsertTwoTerminal:
+    def test_cycle_part_between_grid_corners(self):
+        host = fresh_part(grid_graph(2, 3), [])  # 0..5; 0 and 2 on outer face
+        part_graph = Graph(edges=[(100, 101)])
+        part = fresh_part(part_graph, [(100, 0), (101, 2)])
+        merged = insert_two_terminal(host, 0, 2, part)
+        assert merged.graph.has_edge(100, 0)
+        assert merged.graph.has_edge(101, 2)
+        assert merged.rotation.genus() == 0
+
+    def test_multiple_parallel_parts(self):
+        host = fresh_part(path_graph(4), [])
+        merged = host
+        for k in range(3):
+            base = 100 + 10 * k
+            pg = Graph(edges=[(base, base + 1), (base + 1, base + 2)])
+            part = fresh_part(pg, [(base, 0), (base + 2, 3)])
+            merged = insert_two_terminal(merged, 0, 3, part)
+        assert merged.rotation.genus() == 0
+        assert merged.graph.num_nodes == 4 + 9
+
+    def test_single_sided_part_falls_back_to_pendant(self):
+        host = fresh_part(path_graph(3), [])
+        part = fresh_part(Graph(nodes=[50]), [(50, 1)])
+        merged = insert_two_terminal(host, 1, 2, part)
+        assert merged.rotation.genus() == 0
+
+
+class TestExpandCopies:
+    def test_is_copy(self):
+        assert is_copy(("copy", 5, 3, 1))
+        assert not is_copy(("v", 5))
+        assert not is_copy(5)
+
+    def test_simple_contraction(self):
+        # A path 0 - c - 2 where c is a copy of 1... build: star at copy.
+        c = ("copy", 1, 7, 1)
+        g = Graph(edges=[(0, c), (c, 1), (1, 2)])
+        rot = planar_embedding(g)
+        graph, order = expand_copies(g, rot.as_dict())
+        assert c not in graph
+        assert graph.has_edge(0, 1)
+        assert RotationSystem(graph, order).genus() == 0
+
+    def test_nested_copies(self):
+        c1 = ("copy", 9, 1, 1)
+        c2 = ("copy", 9, 2, 2)
+        # c2 -> c1 -> 9 chain plus real vertices hanging off each copy
+        g = Graph(edges=[(c2, c1), (c1, 9), (0, c2), (1, c1), (9, 2)])
+        rot = planar_embedding(g)
+        graph, order = expand_copies(g, rot.as_dict())
+        assert all(not is_copy(v) for v in graph.nodes())
+        assert graph.has_edge(0, 9)
+        assert graph.has_edge(1, 9)
+        assert RotationSystem(graph, order).genus() == 0
+
+    def test_expansion_preserves_planarity_on_wheel(self):
+        g = cycle_graph(6)
+        c = ("copy", 0, 3, 1)
+        # reroute 2's and 4's hypothetical edges to 0 through the copy
+        g.add_edge(2, c)
+        g.add_edge(4, c)
+        g.add_edge(c, 0)
+        rot = planar_embedding(g)
+        graph, order = expand_copies(g, rot.as_dict())
+        assert graph.has_edge(2, 0)
+        assert graph.has_edge(4, 0)
+        assert RotationSystem(graph, order).genus() == 0
+
+    def test_no_copies_is_identity(self):
+        g = grid_graph(3, 3)
+        rot = planar_embedding(g)
+        graph, order = expand_copies(g, rot.as_dict())
+        assert graph.edges() == g.edges()
+        assert order == rot.as_dict()

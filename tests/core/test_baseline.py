@@ -1,0 +1,55 @@
+"""The trivial O(n) gather-and-solve baseline (paper footnote 2)."""
+
+import pytest
+
+from repro.core import NonPlanarNetworkError, trivial_baseline_embedding
+from repro.planar import Graph, verify_planar_embedding
+from repro.planar.generators import (
+    complete_graph,
+    grid_graph,
+    path_graph,
+    random_maximal_planar,
+)
+
+
+def test_produces_valid_embedding():
+    g = grid_graph(5, 6)
+    result = trivial_baseline_embedding(g)
+    verify_planar_embedding(g, result.rotation)
+
+
+def test_rounds_linear_in_n():
+    rounds = []
+    for k in (6, 12, 24):
+        g = path_graph(k * 10)
+        rounds.append(trivial_baseline_embedding(g).rounds)
+    # doubling n roughly doubles the rounds (gather is the bottleneck)
+    assert 1.6 <= rounds[1] / rounds[0] <= 2.4
+    assert 1.6 <= rounds[2] / rounds[1] <= 2.4
+
+
+def test_rounds_at_least_n():
+    g = random_maximal_planar(80, 2)
+    result = trivial_baseline_embedding(g)
+    assert result.rounds >= g.num_nodes  # n + 2m words through the root
+
+
+def test_nonplanar_rejected():
+    with pytest.raises(NonPlanarNetworkError):
+        trivial_baseline_embedding(complete_graph(5))
+
+
+def test_single_node():
+    result = trivial_baseline_embedding(Graph(nodes=[3]))
+    assert result.rotation == {3: ()}
+
+
+def test_disconnected_rejected():
+    with pytest.raises(ValueError):
+        trivial_baseline_embedding(Graph(edges=[(0, 1), (2, 3)]))
+
+
+def test_phases_recorded():
+    result = trivial_baseline_embedding(grid_graph(4, 4))
+    assert "baseline:gather" in result.metrics.phase_rounds
+    assert "baseline:scatter" in result.metrics.phase_rounds

@@ -1,0 +1,82 @@
+"""Realizing prescribed boundary orders (block flips / permutations)."""
+
+import pytest
+
+from repro.core import RealizationError, cyclic_equal, fresh_part, realize_boundary_order
+from repro.planar.generators import cycle_graph, path_graph, star_graph
+
+
+class TestCyclicEqual:
+    def test_rotations_equal(self):
+        assert cyclic_equal([1, 2, 3], [2, 3, 1])
+        assert cyclic_equal([1, 2, 3], [3, 1, 2])
+
+    def test_reversal_not_equal(self):
+        assert not cyclic_equal([1, 2, 3, 4], [4, 3, 2, 1])
+
+    def test_empty_and_mismatched(self):
+        assert cyclic_equal([], [])
+        assert not cyclic_equal([1], [1, 2])
+
+    def test_repeats(self):
+        assert cyclic_equal([1, 1, 2], [1, 2, 1])
+        assert not cyclic_equal([1, 1, 2], [1, 2, 2])
+
+
+class TestRealize:
+    def test_tree_part_any_order(self):
+        # A star part has full permutation freedom.
+        g = star_graph(4)
+        boundary = [(1, 90), (2, 91), (3, 92), (4, 93)]
+        part = fresh_part(g, boundary)
+        prescribed = [(3, 92), (1, 90), (4, 93), (2, 91)]
+        rot = realize_boundary_order(part, prescribed)
+        walk = part.with_rotation(rot).boundary_order()
+        assert cyclic_equal(walk, prescribed)
+
+    def test_cycle_part_respects_block_order(self):
+        # A cycle's attachments have a fixed cyclic order (up to flip):
+        # the block order 0,3,6 is realizable, an interleaving is not.
+        g = cycle_graph(9)
+        boundary = [(0, 100), (3, 101), (6, 102)]
+        part = fresh_part(g, boundary)
+        ok = realize_boundary_order(part, [(0, 100), (3, 101), (6, 102)])
+        walk = part.with_rotation(ok).boundary_order()
+        assert cyclic_equal(walk, boundary)
+
+    def test_impossible_order_raises(self):
+        # Four attachments on a cycle: the "crossed" order is not planar.
+        g = cycle_graph(8)
+        boundary = [(0, 100), (2, 101), (4, 102), (6, 103)]
+        part = fresh_part(g, boundary)
+        crossed = [(0, 100), (4, 102), (2, 101), (6, 103)]
+        with pytest.raises(RealizationError):
+            realize_boundary_order(part, crossed)
+
+    def test_flip_also_realizable(self):
+        g = cycle_graph(9)
+        boundary = [(0, 100), (3, 101), (6, 102)]
+        part = fresh_part(g, boundary)
+        flipped = [(6, 102), (3, 101), (0, 100)]
+        rot = realize_boundary_order(part, flipped)
+        walk = part.with_rotation(rot).boundary_order()
+        assert cyclic_equal(walk, flipped)
+
+    def test_small_boundaries_trivial(self):
+        part = fresh_part(path_graph(4), [(0, 50), (3, 51)])
+        rot = realize_boundary_order(part, [(3, 51), (0, 50)])
+        assert rot.genus() == 0
+
+    def test_not_a_permutation_rejected(self):
+        part = fresh_part(path_graph(3), [(0, 50)])
+        with pytest.raises(ValueError):
+            realize_boundary_order(part, [(0, 99)])
+
+    def test_multiple_stubs_one_vertex(self):
+        g = path_graph(3)
+        boundary = [(1, 70), (1, 71), (1, 72)]
+        part = fresh_part(g, boundary)
+        prescribed = [(1, 71), (1, 70), (1, 72)]
+        rot = realize_boundary_order(part, prescribed)
+        walk = part.with_rotation(rot).boundary_order()
+        assert cyclic_equal(walk, prescribed)

@@ -1,0 +1,54 @@
+"""The distributed planarity-test API."""
+
+import networkx as nx
+import pytest
+
+from repro import distributed_planarity_test
+from repro.planar import Graph
+from repro.planar.generators import (
+    complete_bipartite,
+    complete_graph,
+    grid_graph,
+    random_planar,
+    subdivide,
+)
+
+
+def test_planar_accepted_with_rounds():
+    ok, metrics = distributed_planarity_test(grid_graph(5, 5))
+    assert ok
+    assert metrics.rounds > 0
+
+
+def test_nonplanar_rejected_with_partial_rounds():
+    ok, metrics = distributed_planarity_test(complete_graph(5))
+    assert not ok
+    assert metrics is not None
+    assert metrics.rounds >= 0
+
+
+def test_buried_k33():
+    g = subdivide(complete_bipartite(3, 3), 4)
+    ok, _ = distributed_planarity_test(g)
+    assert not ok
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_agrees_with_networkx(seed):
+    import random
+
+    rng = random.Random(seed)
+    nxg = nx.gnp_random_graph(rng.randrange(5, 14), rng.uniform(0.3, 0.8), seed=seed)
+    if not nx.is_connected(nxg):
+        nxg = nx.path_graph(6)
+    expected, _ = nx.check_planarity(nxg)
+    g = Graph(nodes=nxg.nodes(), edges=nxg.edges())
+    ok, _ = distributed_planarity_test(g)
+    assert ok == expected
+
+
+def test_cheaper_than_gather_for_wide_networks():
+    g = random_planar(400, 700, seed=1)
+    ok, metrics = distributed_planarity_test(g)
+    assert ok
+    assert metrics.rounds < 4 * g.num_nodes

@@ -1,0 +1,84 @@
+"""Dual graphs of planar embeddings."""
+
+import pytest
+
+from repro.planar import Graph, dual_graph, planar_embedding
+from repro.planar.generators import (
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_maximal_planar,
+    wheel_graph,
+)
+
+
+def test_cycle_dual_is_single_edge():
+    rot = planar_embedding(cycle_graph(6))
+    dual = dual_graph(rot)
+    assert dual.num_faces == 2
+    assert dual.graph.num_edges == 1  # parallel dual edges coalesced
+
+
+def test_tree_dual_is_one_face():
+    rot = planar_embedding(path_graph(5))
+    dual = dual_graph(rot)
+    assert dual.num_faces == 1
+    # every tree edge is a bridge: same face on both sides
+    assert len(dual.bridges()) == 4
+
+
+def test_euler_consistency():
+    g = random_maximal_planar(30, 4)
+    rot = planar_embedding(g)
+    dual = dual_graph(rot)
+    assert g.num_nodes - g.num_edges + dual.num_faces == 2
+
+
+def test_maximal_planar_faces_are_triangles():
+    g = random_maximal_planar(25, 7)
+    rot = planar_embedding(g)
+    dual = dual_graph(rot)
+    assert all(dual.face_size(f) == 3 for f in range(dual.num_faces))
+    # dual of a triangulation is 3-regular
+    assert all(dual.graph.degree(f) == 3 for f in dual.graph.nodes())
+
+
+def test_dual_is_connected_for_connected_primal():
+    rot = planar_embedding(grid_graph(4, 5))
+    dual = dual_graph(rot)
+    assert dual.graph.is_connected()
+
+
+def test_faces_at_vertex():
+    rot = planar_embedding(wheel_graph(6))
+    dual = dual_graph(rot)
+    hub_faces = dual.faces_at(0)
+    assert len(hub_faces) == 6  # one face per hub corner
+    # the hub never touches the outer face of the wheel
+    sizes = {dual.face_size(f) for f in hub_faces}
+    assert sizes == {3}
+
+
+def test_edge_faces_cover_all_edges():
+    g = grid_graph(3, 4)
+    rot = planar_embedding(g)
+    dual = dual_graph(rot)
+    assert len(dual.edge_faces) == g.num_edges
+
+
+def test_nonplanar_rotation_rejected():
+    from repro.planar import RotationSystem
+    from repro.planar.generators import complete_graph
+
+    g = complete_graph(4)
+    bad = RotationSystem(g, {v: tuple(sorted(g.neighbors(v))) for v in g.nodes()})
+    if bad.genus() != 0:
+        with pytest.raises(ValueError):
+            dual_graph(bad)
+
+
+def test_empty_graph():
+    rot = planar_embedding(Graph(nodes=[1]))
+    dual = dual_graph(rot)
+    assert dual.num_faces == 0
+    assert dual.faces_at(1) == []

@@ -1,0 +1,121 @@
+"""Unit tests for the core Graph type and edge identifiers."""
+
+import pytest
+
+from repro.planar import Graph, GraphError, edge_id
+
+
+class TestEdgeId:
+    def test_orders_endpoints(self):
+        assert edge_id(2, 1) == (1, 2)
+        assert edge_id(1, 2) == (1, 2)
+
+    def test_paper_footnote5_convention(self):
+        # ID(e) = (ID(u), ID(v)) with ID(u) < ID(v).
+        assert edge_id(10, 3) == (3, 10)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            edge_id(1, 1)
+
+    def test_tuple_ids(self):
+        assert edge_id(("v", 2), ("v", 1)) == (("v", 1), ("v", 2))
+
+
+class TestGraphBasics:
+    def test_empty(self):
+        g = Graph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert g.is_connected()  # vacuous
+
+    def test_add_edge_adds_nodes(self):
+        g = Graph()
+        g.add_edge(1, 2)
+        assert set(g.nodes()) == {1, 2}
+        assert g.has_edge(2, 1)
+
+    def test_parallel_edges_coalesce(self):
+        g = Graph(edges=[(1, 2), (2, 1), (1, 2)])
+        assert g.num_edges == 1
+
+    def test_self_loop_rejected(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.add_edge(3, 3)
+
+    def test_degree_and_neighbors(self):
+        g = Graph(edges=[(1, 2), (1, 3), (1, 4)])
+        assert g.degree(1) == 3
+        assert set(g.neighbors(1)) == {2, 3, 4}
+        assert g.degree(2) == 1
+
+    def test_neighbors_insertion_order(self):
+        g = Graph()
+        for v in (5, 3, 9):
+            g.add_edge(0, v)
+        assert g.neighbors(0) == [5, 3, 9]
+
+    def test_missing_node_queries_raise(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.neighbors(1)
+        with pytest.raises(GraphError):
+            g.degree(1)
+
+    def test_remove_edge(self):
+        g = Graph(edges=[(1, 2), (2, 3)])
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        assert g.has_edge(2, 3)
+        with pytest.raises(GraphError):
+            g.remove_edge(1, 2)
+
+    def test_remove_node(self):
+        g = Graph(edges=[(1, 2), (2, 3), (1, 3)])
+        g.remove_node(2)
+        assert 2 not in g
+        assert g.has_edge(1, 3)
+        assert g.num_edges == 1
+
+    def test_copy_is_independent(self):
+        g = Graph(edges=[(1, 2)])
+        h = g.copy()
+        h.add_edge(2, 3)
+        assert not g.has_edge(2, 3)
+        assert h.has_edge(2, 3)
+
+    def test_edges_canonical(self):
+        g = Graph(edges=[(2, 1), (3, 2)])
+        assert set(g.edges()) == {(1, 2), (2, 3)}
+
+    def test_len_iter_contains(self):
+        g = Graph(nodes=[1, 2, 3])
+        assert len(g) == 3
+        assert sorted(g) == [1, 2, 3]
+        assert 2 in g
+        assert 7 not in g
+
+
+class TestSubgraphAndComponents:
+    def test_subgraph_induced(self):
+        g = Graph(edges=[(1, 2), (2, 3), (3, 1), (3, 4)])
+        s = g.subgraph([1, 2, 3])
+        assert s.num_edges == 3
+        assert 4 not in s
+
+    def test_subgraph_missing_node_raises(self):
+        g = Graph(nodes=[1])
+        with pytest.raises(GraphError):
+            g.subgraph([1, 99])
+
+    def test_components(self):
+        g = Graph(edges=[(1, 2), (3, 4)])
+        g.add_node(5)
+        comps = g.connected_components()
+        assert sorted(sorted(c) for c in comps) == [[1, 2], [3, 4], [5]]
+        assert not g.is_connected()
+
+    def test_connected_path(self):
+        g = Graph(edges=[(i, i + 1) for i in range(9)])
+        assert g.is_connected()

@@ -1,0 +1,71 @@
+"""Kuratowski witness extraction."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.planar import Graph
+from repro.planar.generators import (
+    complete_bipartite,
+    complete_graph,
+    grid_graph,
+    subdivide,
+)
+from repro.planar.kuratowski import classify_kuratowski, kuratowski_subgraph
+
+
+def test_k5_identity():
+    w = kuratowski_subgraph(complete_graph(5))
+    assert classify_kuratowski(w) == "K5"
+    assert w.num_edges == 10
+
+
+def test_k33_identity():
+    w = kuratowski_subgraph(complete_bipartite(3, 3))
+    assert classify_kuratowski(w) == "K3,3"
+    assert w.num_edges == 9
+
+
+def test_planar_rejected():
+    with pytest.raises(ValueError):
+        kuratowski_subgraph(grid_graph(3, 3))
+
+
+def test_witness_inside_larger_graph():
+    g = complete_graph(5)
+    # bury it in planar decoration
+    nxt = 5
+    for v in range(5):
+        g.add_edge(v, nxt)
+        nxt += 1
+    w = kuratowski_subgraph(g)
+    assert classify_kuratowski(w) in ("K5", "K3,3")
+    for u, v in w.edges():
+        assert g.has_edge(u, v)
+
+
+def test_subdivided_witness():
+    g = subdivide(complete_bipartite(3, 3), 3)
+    w = kuratowski_subgraph(g)
+    assert classify_kuratowski(w) == "K3,3"
+
+
+def test_dense_random_graphs():
+    random.seed(5)
+    found = 0
+    for trial in range(10):
+        nxg = nx.gnp_random_graph(9, 0.7, seed=trial)
+        g = Graph(nodes=nxg.nodes(), edges=nxg.edges())
+        planar, _ = nx.check_planarity(nxg)
+        if planar:
+            continue
+        w = kuratowski_subgraph(g)
+        assert classify_kuratowski(w) in ("K5", "K3,3")
+        found += 1
+    assert found >= 5  # dense G(9, 0.7) is almost always non-planar
+
+
+def test_classify_rejects_garbage():
+    with pytest.raises(ValueError):
+        classify_kuratowski(grid_graph(3, 3))

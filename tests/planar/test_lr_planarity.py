@@ -1,0 +1,141 @@
+"""The LR planarity kernel, cross-validated against networkx as an oracle."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.planar import Graph, NonPlanarGraphError, is_planar, lr_planarity, planar_embedding
+from repro.planar.generators import (
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    delaunay_triangulation,
+    grid_graph,
+    k4_subdivision,
+    path_graph,
+    random_maximal_planar,
+    random_outerplanar,
+    star_graph,
+    theta_graph,
+    triangulated_grid,
+    wheel_graph,
+)
+
+
+def to_nx(g: Graph) -> nx.Graph:
+    h = nx.Graph(g.edges())
+    h.add_nodes_from(g.nodes())
+    return h
+
+
+PLANAR_FAMILIES = [
+    ("path", path_graph(12)),
+    ("cycle", cycle_graph(9)),
+    ("star", star_graph(7)),
+    ("grid", grid_graph(6, 7)),
+    ("trigrid", triangulated_grid(5, 5)),
+    ("wheel", wheel_graph(8)),
+    ("theta", theta_graph(5, 4)),
+    ("k4", complete_graph(4)),
+    ("k4sub", k4_subdivision(6)),
+    ("outerplanar", random_outerplanar(25, 3)),
+    ("maximal", random_maximal_planar(40, 5)),
+    ("delaunay", delaunay_triangulation(50, 7)[0]),
+]
+
+NONPLANAR_FAMILIES = [
+    ("k5", complete_graph(5)),
+    ("k33", complete_bipartite(3, 3)),
+    ("k6", complete_graph(6)),
+    ("k44", complete_bipartite(4, 4)),
+]
+
+
+@pytest.mark.parametrize("name,g", PLANAR_FAMILIES, ids=[n for n, _ in PLANAR_FAMILIES])
+def test_planar_family_embeds(name, g):
+    rot = lr_planarity(g)
+    assert rot is not None
+    assert rot.genus() == 0
+
+
+@pytest.mark.parametrize(
+    "name,g", NONPLANAR_FAMILIES, ids=[n for n, _ in NONPLANAR_FAMILIES]
+)
+def test_nonplanar_family_rejected(name, g):
+    assert lr_planarity(g) is None
+    assert not is_planar(g)
+    with pytest.raises(NonPlanarGraphError):
+        planar_embedding(g)
+
+
+def test_edge_bound_shortcut():
+    # m > 3n - 6 is rejected without running the DFS machinery.
+    g = complete_graph(8)
+    assert g.num_edges > 3 * g.num_nodes - 6
+    assert lr_planarity(g) is None
+
+
+def test_empty_and_tiny_graphs():
+    assert lr_planarity(Graph()) is not None
+    assert lr_planarity(Graph(nodes=[1])) is not None
+    assert lr_planarity(Graph(edges=[(1, 2)])) is not None
+
+
+def test_disconnected_graph():
+    g = Graph(edges=[(0, 1), (1, 2), (2, 0), (10, 11)])
+    g.add_node(20)
+    rot = lr_planarity(g)
+    assert rot is not None
+    assert rot.genus() == 0
+
+
+def test_k5_minus_edge_planar():
+    g = complete_graph(5)
+    g.remove_edge(0, 1)
+    rot = lr_planarity(g)
+    assert rot is not None and rot.genus() == 0
+
+
+def test_large_graph_no_recursion_error():
+    g = grid_graph(70, 70)  # 4900 nodes, far beyond default recursion limit
+    rot = lr_planarity(g)
+    assert rot is not None
+    assert rot.genus() == 0
+
+
+def test_agreement_with_networkx_random_sweep():
+    random.seed(1234)
+    for trial in range(300):
+        n = random.randrange(1, 18)
+        p = random.random()
+        nxg = nx.gnp_random_graph(n, p, seed=trial * 7 + 1)
+        g = Graph(nodes=nxg.nodes(), edges=nxg.edges())
+        expected, _ = nx.check_planarity(nxg)
+        rot = lr_planarity(g)
+        assert (rot is not None) == expected, f"trial {trial}"
+        if rot is not None:
+            assert rot.genus() == 0, f"trial {trial}"
+
+
+@settings(max_examples=120, deadline=None)
+@given(st.data())
+def test_agreement_with_networkx_hypothesis(data):
+    n = data.draw(st.integers(min_value=1, max_value=14))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = data.draw(st.lists(st.sampled_from(possible), unique=True)) if possible else []
+    g = Graph(nodes=range(n), edges=edges)
+    expected, _ = nx.check_planarity(to_nx(g))
+    rot = lr_planarity(g)
+    assert (rot is not None) == expected
+    if rot is not None:
+        assert rot.genus() == 0
+
+
+def test_rotation_covers_all_edges():
+    g = random_maximal_planar(30, 11)
+    rot = lr_planarity(g)
+    for v in g.nodes():
+        assert set(rot.order(v)) == set(g.neighbors(v))

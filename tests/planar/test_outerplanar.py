@@ -1,0 +1,84 @@
+"""Outerplanarity recognition and outer-face orders."""
+
+import pytest
+
+from repro.planar import (
+    Graph,
+    is_outerplanar,
+    outer_face_order,
+    outerplanar_embedding,
+)
+from repro.planar.generators import (
+    complete_bipartite,
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_outerplanar,
+    random_tree,
+    star_graph,
+    wheel_graph,
+)
+
+
+class TestRecognition:
+    @pytest.mark.parametrize(
+        "g",
+        [path_graph(8), cycle_graph(9), star_graph(6), random_tree(25, 1),
+         random_outerplanar(18, 2), Graph(nodes=[0]), Graph()],
+        ids=["path", "cycle", "star", "tree", "random-op", "single", "empty"],
+    )
+    def test_outerplanar_yes(self, g):
+        assert is_outerplanar(g)
+
+    @pytest.mark.parametrize(
+        "g",
+        [complete_graph(4), complete_bipartite(2, 3), wheel_graph(5), grid_graph(3, 3)],
+        ids=["K4", "K23", "wheel", "grid3"],
+    )
+    def test_outerplanar_no(self, g):
+        # K4 and K2,3 are the forbidden minors; wheels/grids contain them.
+        assert not is_outerplanar(g)
+
+    def test_k4_minus_edge_is_outerplanar(self):
+        g = complete_graph(4)
+        g.remove_edge(0, 3)
+        assert is_outerplanar(g)
+
+
+class TestEmbedding:
+    def test_embedding_has_common_face(self):
+        g = random_outerplanar(15, 4)
+        rot = outerplanar_embedding(g)
+        assert rot is not None
+        assert rot.genus() == 0
+        from repro.planar import trace_faces
+
+        all_nodes = set(g.nodes())
+        assert any({u for u, _ in f} == all_nodes for f in trace_faces(rot))
+
+    def test_embedding_none_for_k4(self):
+        assert outerplanar_embedding(complete_graph(4)) is None
+
+
+class TestOuterFaceOrder:
+    def test_cycle_order_is_the_cycle(self):
+        g = cycle_graph(6)
+        order = outer_face_order(g)
+        assert order is not None
+        assert len(order) == 6
+        # consecutive elements (cyclically) must be adjacent in the cycle
+        for a, b in zip(order, order[1:] + order[:1]):
+            assert g.has_edge(a, b)
+
+    def test_k4_has_no_order(self):
+        assert outer_face_order(complete_graph(4)) is None
+
+    def test_all_vertices_present(self):
+        g = random_outerplanar(12, 9)
+        order = outer_face_order(g)
+        assert sorted(order) == sorted(g.nodes())
+
+    def test_trivial_cases(self):
+        assert outer_face_order(Graph()) == []
+        assert outer_face_order(Graph(nodes=[7])) == [7]

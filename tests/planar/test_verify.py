@@ -1,0 +1,73 @@
+"""The embedding verifier: accepts the valid, rejects the broken."""
+
+import pytest
+
+from repro.planar import (
+    EmbeddingViolation,
+    check_embedding_with_boundary,
+    planar_embedding,
+    verify_planar_embedding,
+    verify_rotation_system,
+)
+from repro.planar.generators import complete_graph, cycle_graph, grid_graph
+
+
+def test_accepts_lr_output():
+    g = grid_graph(5, 5)
+    rot = planar_embedding(g)
+    assert verify_planar_embedding(g, rot.as_dict()).genus() == 0
+
+
+def test_rejects_malformed_rotation():
+    g = cycle_graph(4)
+    with pytest.raises(EmbeddingViolation):
+        verify_rotation_system(g, {0: (1,), 1: (0, 2), 2: (1, 3), 3: (2, 0)})
+
+
+def test_rejects_nonplanar_rotation():
+    # K4 can be given a bad rotation with positive genus.
+    g = complete_graph(4)
+    bad = {v: tuple(sorted(g.neighbors(v))) for v in g.nodes()}
+    rot = verify_rotation_system(g, bad)
+    if rot.genus() != 0:
+        with pytest.raises(EmbeddingViolation):
+            verify_planar_embedding(g, bad)
+    else:  # pragma: no cover - depends on sorted order
+        verify_planar_embedding(g, bad)
+
+
+def test_swapped_rotation_on_k4_subdivided_detected():
+    from repro.planar.generators import k4_subdivision
+
+    g = k4_subdivision(3)
+    rot = planar_embedding(g).as_dict()
+    # Flip the rotation of ONE degree-3 branch vertex: this is exactly
+    # the inconsistency the paper's footnote-1 lower bound talks about.
+    branch = next(v for v in g.nodes() if g.degree(v) == 3)
+    broken = dict(rot)
+    broken[branch] = tuple(reversed(rot[branch]))
+    with pytest.raises(EmbeddingViolation):
+        verify_planar_embedding(g, broken)
+
+
+def test_boundary_check():
+    g = grid_graph(3, 3)
+    rot = planar_embedding(g)
+    # Corners of the grid lie on the outer face of any planar embedding.
+    face = check_embedding_with_boundary(rot, [0, 2, 6, 8])
+    assert {0, 2, 6, 8} <= {u for u, _ in face}
+
+
+def test_boundary_check_fails_for_scattered_set():
+    g = grid_graph(5, 5)
+    rot = planar_embedding(g)
+    # The grid center plus all corners are never co-facial.
+    with pytest.raises(EmbeddingViolation):
+        check_embedding_with_boundary(rot, [0, 4, 20, 24, 12])
+
+
+def test_empty_boundary_returns_a_face():
+    g = cycle_graph(5)
+    rot = planar_embedding(g)
+    face = check_embedding_with_boundary(rot, [])
+    assert face

@@ -1,0 +1,69 @@
+"""Tree convergecast/broadcast as real message-passing programs."""
+
+from repro.congest import RoundMetrics
+from repro.planar.generators import grid_graph, path_graph
+from repro.primitives import build_bfs_tree, tree_aggregate, tree_broadcast
+
+
+def setup_tree(g, root):
+    tree = build_bfs_tree(g, root)
+    return tree
+
+
+def test_sum_convergecast():
+    g = grid_graph(4, 4)
+    tree = setup_tree(g, 0)
+    values = {v: v for v in g.nodes()}
+    results = tree_aggregate(
+        g, tree.parent, tree.children, values, combine=lambda xs: sum(xs)
+    )
+    root_value, _ = results[0]
+    assert root_value == sum(range(16))
+
+
+def test_max_convergecast_and_subtree_values():
+    g = path_graph(8)
+    tree = setup_tree(g, 0)
+    values = {v: v * 10 for v in g.nodes()}
+    results = tree_aggregate(
+        g, tree.parent, tree.children, values, combine=lambda xs: max(xs)
+    )
+    for v in g.nodes():
+        subtree_value, _ = results[v]
+        assert subtree_value == 70  # max lives at the deep end
+
+
+def test_convergecast_rounds_bounded_by_depth():
+    g = path_graph(20)
+    tree = setup_tree(g, 0)
+    m = RoundMetrics()
+    tree_aggregate(
+        g, tree.parent, tree.children, {v: 1 for v in g.nodes()},
+        combine=sum, metrics=m,
+    )
+    assert m.rounds <= tree.depth + 2
+
+
+def test_broadcast_reaches_everyone():
+    g = grid_graph(5, 5)
+    tree = setup_tree(g, 0)
+    results = tree_broadcast(g, tree.parent, tree.children, root_value=("go", 7))
+    assert all(results[v] == ("go", 7) for v in g.nodes())
+
+
+def test_broadcast_rounds_bounded_by_depth():
+    g = path_graph(15)
+    tree = setup_tree(g, 0)
+    m = RoundMetrics()
+    tree_broadcast(g, tree.parent, tree.children, root_value=1, metrics=m)
+    assert m.rounds <= tree.depth + 2
+
+
+def test_child_values_visible_to_parent():
+    g = path_graph(4)
+    tree = setup_tree(g, 0)
+    results = tree_aggregate(
+        g, tree.parent, tree.children, {v: 1 for v in g.nodes()}, combine=sum
+    )
+    _, child_values = results[0]
+    assert child_values == {1: 3}  # subtree of 1 has 3 nodes

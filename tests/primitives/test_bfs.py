@@ -1,0 +1,93 @@
+"""Distributed BFS: tree validity, depths, and O(D) rounds."""
+
+import pytest
+
+from repro.congest import RoundMetrics
+from repro.planar import Graph
+from repro.planar.generators import (
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    random_planar,
+    random_tree,
+)
+from repro.primitives import build_bfs_tree
+
+
+def bfs_distances(g, root):
+    dist = {root: 0}
+    frontier = [root]
+    while frontier:
+        nxt = []
+        for v in frontier:
+            for u in g.neighbors(v):
+                if u not in dist:
+                    dist[u] = dist[v] + 1
+                    nxt.append(u)
+        frontier = nxt
+    return dist
+
+
+@pytest.mark.parametrize(
+    "g,root",
+    [
+        (path_graph(12), 0),
+        (cycle_graph(9), 4),
+        (grid_graph(5, 7), 0),
+        (random_planar(40, 70, seed=5), 17),
+        (random_tree(30, 3), 29),
+    ],
+    ids=["path", "cycle", "grid", "planar", "tree"],
+)
+def test_depths_are_true_bfs_distances(g, root):
+    tree = build_bfs_tree(g, root)
+    assert tree.depth_of == bfs_distances(g, root)
+
+
+def test_parent_child_consistency():
+    g = grid_graph(4, 5)
+    tree = build_bfs_tree(g, 0)
+    assert tree.parent[0] is None
+    for v, p in tree.parent.items():
+        if p is not None:
+            assert v in tree.children[p]
+            assert g.has_edge(v, p)
+            assert tree.depth_of[v] == tree.depth_of[p] + 1
+    total_children = sum(len(c) for c in tree.children.values())
+    assert total_children == g.num_nodes - 1
+
+
+def test_rounds_order_of_depth():
+    g = path_graph(25)
+    m = RoundMetrics()
+    tree = build_bfs_tree(g, 0, metrics=m)
+    assert tree.depth == 24
+    assert m.rounds <= tree.depth + 3
+
+
+def test_disconnected_raises():
+    g = Graph(edges=[(0, 1), (2, 3)])
+    with pytest.raises(ValueError):
+        build_bfs_tree(g, 0)
+
+
+def test_subtree_nodes_and_depth():
+    g = path_graph(6)
+    tree = build_bfs_tree(g, 0)
+    assert tree.subtree_nodes(3) == {3, 4, 5}
+    assert tree.subtree_depth(3) == 2
+    assert tree.subtree_depth(5) == 0
+
+
+def test_path_to_descendant():
+    g = path_graph(6)
+    tree = build_bfs_tree(g, 0)
+    assert tree.path_to_descendant(1, 4) == [1, 2, 3, 4]
+    with pytest.raises(ValueError):
+        tree.path_to_descendant(3, 1)
+
+
+def test_min_id_parent_tie_break():
+    g = Graph(edges=[(0, 1), (0, 2), (1, 3), (2, 3)])
+    tree = build_bfs_tree(g, 0)
+    assert tree.parent[3] == 1  # both 1 and 2 offer at the same round

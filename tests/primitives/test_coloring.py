@@ -1,0 +1,91 @@
+"""Cole-Vishkin color reduction and MIS on linear forests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.planar import Graph
+from repro.planar.generators import cycle_graph, path_graph, star_graph
+from repro.primitives import (
+    cole_vishkin_3coloring,
+    is_proper_coloring,
+    log_star,
+    mis_from_coloring,
+)
+
+
+class TestLogStar:
+    def test_values(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+        assert log_star(2**20) == 5
+
+
+class TestColeVishkin:
+    def test_path_reduces_to_three_colors(self):
+        g = path_graph(64)
+        colors, steps = cole_vishkin_3coloring(g, {v: v for v in g.nodes()})
+        assert set(colors.values()) <= {0, 1, 2}
+        assert is_proper_coloring(g, colors)
+        # O(log* n) bit-reduction steps + 3 elimination steps
+        assert steps <= log_star(64) + 6
+
+    def test_linear_forest(self):
+        g = Graph(edges=[(0, 1), (1, 2), (10, 11), (20, 21), (21, 22), (22, 23)])
+        g.add_node(30)
+        colors, _ = cole_vishkin_3coloring(g, {v: v for v in g.nodes()})
+        assert is_proper_coloring(g, colors)
+        assert set(colors.values()) <= {0, 1, 2}
+
+    def test_rejects_cycle(self):
+        with pytest.raises(ValueError):
+            cole_vishkin_3coloring(cycle_graph(5), {v: v for v in range(5)})
+
+    def test_rejects_high_degree(self):
+        g = star_graph(3)
+        with pytest.raises(ValueError):
+            cole_vishkin_3coloring(g, {v: v for v in g.nodes()})
+
+    def test_rejects_improper_input(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            cole_vishkin_3coloring(g, {0: 5, 1: 5, 2: 1})
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=200),
+        mult=st.integers(min_value=1, max_value=1000),
+    )
+    def test_huge_initial_palettes(self, n, mult):
+        g = path_graph(n)
+        colors, steps = cole_vishkin_3coloring(g, {v: v * mult for v in g.nodes()})
+        assert set(colors.values()) <= {0, 1, 2}
+        assert is_proper_coloring(g, colors)
+
+
+class TestMis:
+    def test_path_mis(self):
+        g = path_graph(30)
+        colors, _ = cole_vishkin_3coloring(g, {v: v for v in g.nodes()})
+        mis, steps = mis_from_coloring(g, colors)
+        assert steps == 3
+        assert len(mis) >= 10  # MIS of a 30-path has >= n/3 nodes
+
+    def test_requires_proper(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            mis_from_coloring(g, {0: 1, 1: 1, 2: 0})
+
+    @settings(max_examples=40, deadline=None)
+    @given(n=st.integers(min_value=1, max_value=150))
+    def test_mis_valid_on_paths(self, n):
+        g = path_graph(n)
+        colors, _ = cole_vishkin_3coloring(g, {v: v for v in g.nodes()})
+        mis, _ = mis_from_coloring(g, colors)
+        for u, v in g.edges():
+            assert not (u in mis and v in mis)
+        for v in g.nodes():
+            assert v in mis or any(u in mis for u in g.neighbors(v))

@@ -1,0 +1,62 @@
+"""The Section 2 preamble: distributed estimation of n and D."""
+
+import pytest
+
+from repro.congest import RoundMetrics
+from repro.planar import Graph
+from repro.planar.generators import cycle_graph, grid_graph, path_graph, random_tree
+from repro.primitives import estimate_network
+
+
+def true_diameter(g):
+    best = 0
+    for s in g.nodes():
+        dist = {s: 0}
+        frontier = [s]
+        while frontier:
+            nxt = []
+            for v in frontier:
+                for u in g.neighbors(v):
+                    if u not in dist:
+                        dist[u] = dist[v] + 1
+                        nxt.append(u)
+            frontier = nxt
+        best = max(best, max(dist.values()))
+    return best
+
+
+@pytest.mark.parametrize(
+    "g",
+    [path_graph(20), cycle_graph(15), grid_graph(5, 6), random_tree(40, 2)],
+    ids=["path", "cycle", "grid", "tree"],
+)
+def test_two_approximation(g):
+    est = estimate_network(g)
+    d = true_diameter(g)
+    assert est.n == g.num_nodes
+    assert est.diameter_lower <= d <= est.diameter_upper
+    assert est.diameter_upper <= 2 * d  # ecc(root) <= D
+
+
+def test_leader_is_max_id():
+    est = estimate_network(grid_graph(4, 4))
+    assert est.leader == 15
+
+
+def test_single_node():
+    est = estimate_network(Graph(nodes=[3]))
+    assert est == type(est)(n=1, diameter_lower=0, diameter_upper=0, leader=3)
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        estimate_network(Graph())
+
+
+def test_costs_linear_in_depth():
+    g = path_graph(30)
+    m = RoundMetrics()
+    estimate_network(g, metrics=m)
+    # leader flood + BFS + convergecast + broadcast: a few multiples of D
+    assert m.rounds <= 5 * 30
+    assert "estimate-n-D" in m.phase_rounds

@@ -1,0 +1,52 @@
+"""Max-ID leader election: correctness and O(D) round emergence."""
+
+import pytest
+
+from repro.congest import RoundMetrics
+from repro.planar import Graph
+from repro.planar.generators import cycle_graph, grid_graph, path_graph, random_tree
+from repro.primitives import elect_leader
+
+
+def test_elects_max_id():
+    g = grid_graph(4, 6)
+    assert elect_leader(g) == 23
+
+
+def test_single_node():
+    assert elect_leader(Graph(nodes=[42])) == 42
+
+
+def test_empty_rejected():
+    with pytest.raises(ValueError):
+        elect_leader(Graph())
+
+
+def test_rounds_close_to_eccentricity():
+    # Flooding from the max-ID node quiesces within ecc(max) + O(1).
+    n = 30
+    g = path_graph(n)
+    m = RoundMetrics()
+    leader = elect_leader(g, metrics=m)
+    assert leader == n - 1
+    # max-ID sits at one end: its eccentricity is n-1
+    assert n - 1 <= m.rounds <= n + 1
+
+
+def test_rounds_on_cycle():
+    g = cycle_graph(20)
+    m = RoundMetrics()
+    elect_leader(g, metrics=m)
+    assert m.rounds <= 12  # ecc = 10
+
+
+def test_on_random_trees():
+    for seed in range(5):
+        g = random_tree(40, seed)
+        assert elect_leader(g) == 39
+
+
+def test_phase_recorded():
+    m = RoundMetrics()
+    elect_leader(grid_graph(3, 3), metrics=m)
+    assert "leader-election" in m.phase_rounds

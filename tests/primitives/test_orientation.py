@@ -1,0 +1,74 @@
+"""Low-arboricity peeling orientations and neighborhood views."""
+
+import pytest
+
+from repro.planar.generators import (
+    complete_graph,
+    grid_graph,
+    random_maximal_planar,
+    random_outerplanar,
+    random_tree,
+    triangulated_grid,
+)
+from repro.primitives import neighborhood_views, peel_orientation
+
+
+class TestPeeling:
+    def test_planar_out_degree_bounded(self):
+        g = random_maximal_planar(60, 3)
+        so = peel_orientation(g, sparsity=3)
+        assert so.max_out_degree <= 6
+        assert all(v in so.layer for v in g.nodes())
+
+    def test_every_edge_oriented_once(self):
+        g = triangulated_grid(5, 5)
+        so = peel_orientation(g, sparsity=3)
+        oriented = sum(len(ns) for ns in so.out_neighbors.values())
+        assert oriented == g.num_edges
+
+    def test_tree_is_one_phase(self):
+        g = random_tree(40, 1)
+        so = peel_orientation(g, sparsity=1)
+        # every tree vertex has degree <= 2*1 after enough peeling;
+        # phases stay logarithmic-ish, and out-degree <= 2
+        assert so.max_out_degree <= 2
+
+    def test_outerplanar_sparsity2(self):
+        g = random_outerplanar(40, 5)
+        so = peel_orientation(g, sparsity=2)
+        assert so.max_out_degree <= 4
+
+    def test_dense_graph_rejected(self):
+        with pytest.raises(ValueError):
+            peel_orientation(complete_graph(30), sparsity=2)
+
+    def test_phases_logarithmic(self):
+        g = grid_graph(12, 12)
+        so = peel_orientation(g, sparsity=3)
+        assert so.phases <= 12  # comfortably O(log n)
+
+    def test_invalid_sparsity(self):
+        with pytest.raises(ValueError):
+            peel_orientation(grid_graph(2, 2), sparsity=0)
+
+
+class TestNeighborhoodViews:
+    def test_views_match_truth(self):
+        # neighborhood_views verifies itself against ground truth internally
+        g = random_maximal_planar(40, 8)
+        views, steps = neighborhood_views(g)
+        assert len(views) == 40
+        assert steps >= 1
+
+    def test_view_contents(self):
+        g = grid_graph(3, 3)
+        views, _ = neighborhood_views(g)
+        center = views[4]
+        assert 4 in center
+        assert set(center.nodes()) == {1, 3, 4, 5, 7}
+
+    def test_steps_scale_with_sparsity(self):
+        g = random_outerplanar(30, 2)
+        so = peel_orientation(g, sparsity=2)
+        _, steps = neighborhood_views(g, so)
+        assert steps == so.phases + so.max_out_degree

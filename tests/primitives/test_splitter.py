@@ -1,0 +1,96 @@
+"""The 2/3-balanced splitter: Lemma 4.2's engine, property-tested."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.congest import RoundMetrics
+from repro.planar import Graph
+from repro.planar.generators import caterpillar, path_graph, random_tree
+from repro.primitives import (
+    build_bfs_tree,
+    compute_subtree_stats,
+    find_splitter,
+    splitter_components,
+)
+
+
+def run_splitter(g, root):
+    tree = build_bfs_tree(g, root)
+    tg = Graph(nodes=g.nodes())
+    for v, p in tree.parent.items():
+        if p is not None:
+            tg.add_edge(v, p)
+    splitter = find_splitter(tg, root, tree.parent, tree.children)
+    comps = splitter_components(
+        root, splitter, tree.parent, tree.children, set(g.nodes())
+    )
+    return tree, splitter, comps
+
+
+def check_balance(g, root):
+    tree, splitter, comps = run_splitter(g, root)
+    n = g.num_nodes
+    assert sum(len(c) for c in comps) == n - 1
+    for comp in comps:
+        assert 3 * len(comp) <= 2 * n, f"component of {len(comp)} > 2n/3 (n={n})"
+    return splitter
+
+
+def test_path_splitter_is_middleish():
+    splitter = check_balance(path_graph(30), 0)
+    assert 9 <= splitter <= 20
+
+
+def test_star_splitter_is_center():
+    g = Graph(edges=[(0, i) for i in range(1, 12)])
+    assert check_balance(g, 0) == 0
+
+
+def test_caterpillar():
+    check_balance(caterpillar(12, 3), 0)
+
+
+def test_two_nodes():
+    g = path_graph(2)
+    tree, splitter, comps = run_splitter(g, 0)
+    assert splitter in (0, 1)
+    assert all(len(c) <= 1 for c in comps)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    n=st.integers(min_value=2, max_value=120),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_balance_on_random_trees(n, seed):
+    check_balance(random_tree(n, seed), 0)
+
+
+def test_distributed_cost_is_linear_in_depth():
+    g = path_graph(40)
+    tree = build_bfs_tree(g, 0)
+    tg = Graph(nodes=g.nodes())
+    for v, p in tree.parent.items():
+        if p is not None:
+            tg.add_edge(v, p)
+    m = RoundMetrics()
+    stats = compute_subtree_stats(tg, tree.parent, tree.children, metrics=m)
+    find_splitter(tg, 0, tree.parent, tree.children, metrics=m, stats=stats)
+    # one convergecast + one token walk: <= ~2 depth rounds
+    assert m.rounds <= 2 * tree.depth + 4
+
+
+def test_subtree_stats_consistency():
+    g = random_tree(50, 9)
+    tree = build_bfs_tree(g, 0)
+    tg = Graph(nodes=g.nodes())
+    for v, p in tree.parent.items():
+        if p is not None:
+            tg.add_edge(v, p)
+    stats = compute_subtree_stats(tg, tree.parent, tree.children)
+    assert stats.size[0] == 50
+    for v in g.nodes():
+        assert stats.size[v] == len(tree.subtree_nodes(v))
+        assert stats.height[v] == tree.subtree_depth(v)
+        for c in tree.children[v]:
+            assert stats.child_sizes[v][c] == stats.size[c]

@@ -1,0 +1,80 @@
+"""The analysis helpers used by the benchmark harness."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    bound_ratios,
+    fit_power_law,
+    format_table,
+    geometric_sizes,
+    headline_bound,
+    verdict,
+)
+
+
+class TestPowerFit:
+    def test_exact_square(self):
+        xs = [1, 2, 4, 8, 16]
+        ys = [x**2 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert abs(fit.exponent - 2.0) < 1e-9
+        assert abs(fit.coefficient - 1.0) < 1e-9
+        assert fit.r_squared > 0.999
+
+    def test_linear_with_constant(self):
+        xs = [10, 20, 40, 80]
+        ys = [7 * x for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert abs(fit.exponent - 1.0) < 1e-9
+        assert abs(fit.coefficient - 7.0) < 1e-6
+
+    def test_predict(self):
+        fit = fit_power_law([1, 2, 4], [3, 6, 12])
+        assert abs(fit.predict(8) - 24) < 1e-6
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1], [1])
+        with pytest.raises(ValueError):
+            fit_power_law([1, -2], [1, 2])
+        with pytest.raises(ValueError):
+            fit_power_law([3, 3], [1, 2])
+
+
+class TestBounds:
+    def test_headline_bound(self):
+        assert headline_bound(1024, 10) == 10 * 10  # min(log2 1024, 10) = 10
+        assert headline_bound(16, 100) == 100 * 4  # log side binds
+        assert headline_bound(1, 0) == 1.0
+
+    def test_bound_ratios(self):
+        ratios = bound_ratios([100], [256], [10])
+        assert abs(ratios[0] - 100 / (10 * 8)) < 1e-9
+
+
+class TestSizes:
+    def test_geometric(self):
+        sizes = geometric_sizes(10, 1000, 5)
+        assert sizes[0] == 10
+        assert sizes[-1] == 1000
+        assert all(a < b for a, b in zip(sizes, sizes[1:]))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            geometric_sizes(10, 5, 3)
+
+
+class TestTables:
+    def test_format_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "30" in lines[-1]
+
+    def test_verdict_returns_flag(self, capsys):
+        assert verdict("x", True, "det") is True
+        assert verdict("y", False) is False
+        out = capsys.readouterr().out
+        assert "REPRODUCED" in out and "NOT REPRODUCED" in out

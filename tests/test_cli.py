@@ -1,0 +1,71 @@
+"""The `python -m repro` command-line interface."""
+
+import pytest
+
+from repro.__main__ import load_edgelist, main
+
+
+def test_demo_grid(capsys):
+    code = main(["--demo", "grid", "4", "4", "--quiet"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "n=16" in out
+    assert "planar embedding in" in out
+    assert "round ledger" in out
+
+
+def test_demo_rotations_printed(capsys):
+    main(["--demo", "cycle", "5"])
+    out = capsys.readouterr().out
+    assert "clockwise edge orders" in out
+    assert "  0: " in out
+
+
+def test_baseline_mode(capsys):
+    code = main(["--demo", "grid", "3", "3", "--baseline", "--quiet"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "baseline" in out
+
+
+def test_nonplanar_exit_code_and_witness(tmp_path, capsys):
+    f = tmp_path / "k5.txt"
+    f.write_text(
+        "# complete graph on 5 nodes\n"
+        + "\n".join(f"{i} {j}" for i in range(5) for j in range(i + 1, 5))
+    )
+    code = main([str(f), "--quiet"])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "NOT PLANAR" in out
+    assert "K5 subdivision" in out
+
+
+def test_edgelist_parsing(tmp_path):
+    f = tmp_path / "g.txt"
+    f.write_text("0 1\n1 2  # comment\n\n2 0\n")
+    g = load_edgelist(str(f))
+    assert g.num_nodes == 3
+    assert g.num_edges == 3
+
+
+def test_edgelist_bad_line(tmp_path):
+    f = tmp_path / "bad.txt"
+    f.write_text("0 1 2\n")
+    with pytest.raises(SystemExit):
+        load_edgelist(str(f))
+
+
+def test_requires_exactly_one_input(capsys):
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_unknown_demo_family():
+    with pytest.raises(SystemExit):
+        main(["--demo", "hypercube", "3"])
+
+
+def test_bandwidth_flag(capsys):
+    code = main(["--demo", "grid", "4", "4", "--bandwidth", "8", "--quiet"])
+    assert code == 0

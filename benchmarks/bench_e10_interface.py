@@ -7,12 +7,14 @@ flat, then grow the boundary at fixed part size and check it scales
 linearly.
 """
 
+import time
+
 from repro.analysis import fit_power_law, print_table, verdict
 from repro.core import fresh_part, interface_skeleton
 from repro.planar.generators import cycle_graph, grid_graph
 
 
-def run_experiment():
+def run_experiment(report=None):
     rows = []
     # fixed boundary (4 attachments), growing part
     fixed_boundary_words = []
@@ -20,7 +22,13 @@ def run_experiment():
         g = grid_graph(k, k)
         corners = [0, k - 1, k * k - k, k * k - 1]
         part = fresh_part(g, [(c, 10_000 + c) for c in corners])
+        t0 = time.perf_counter()
         sk = interface_skeleton(part)
+        if report is not None:
+            report.record(
+                part=f"grid{k}x{k}", n=g.num_nodes, boundary=4,
+                summary_words=sk.words, wall_s=round(time.perf_counter() - t0, 6),
+            )
         fixed_boundary_words.append(sk.words)
         rows.append([f"grid{k}x{k}", g.num_nodes, 4, sk.words])
     # fixed part (cycle of 240), growing boundary
@@ -29,7 +37,13 @@ def run_experiment():
         g = cycle_graph(240)
         attachments = [i * (240 // b) for i in range(b)]
         part = fresh_part(g, [(a, 10_000 + a) for a in attachments])
+        t0 = time.perf_counter()
         sk = interface_skeleton(part)
+        if report is not None:
+            report.record(
+                part="cycle240", n=240, boundary=b,
+                summary_words=sk.words, wall_s=round(time.perf_counter() - t0, 6),
+            )
         growing.append((b, sk.words))
         rows.append(["cycle240", 240, b, sk.words])
     print_table(
@@ -40,8 +54,8 @@ def run_experiment():
     return fixed_boundary_words, growing
 
 
-def test_e10_interface(run_once):
-    fixed_boundary_words, growing = run_once(run_experiment)
+def test_e10_interface(run_once, bench_report):
+    fixed_boundary_words, growing = run_once(run_experiment, bench_report)
     ok = verdict(
         "E10: summary size independent of part size (fixed boundary)",
         max(fixed_boundary_words) <= min(fixed_boundary_words) + 2,

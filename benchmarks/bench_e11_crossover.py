@@ -15,13 +15,14 @@ while neither D^2 alone nor D*log n alone would cover both.
 """
 
 import math
+import time
 
 from repro import distributed_planar_embedding
 from repro.analysis import print_table, verdict
 from repro.planar.generators import path_graph, stacked_prism
 
 
-def run_experiment():
+def run_experiment(report=None):
     rows, ratios = [], []
     for name, g in [
         ("prism2x24", stacked_prism(2, 24)),
@@ -31,12 +32,19 @@ def run_experiment():
         ("path180", path_graph(180)),
         ("path420", path_graph(420)),
     ]:
+        t0 = time.perf_counter()
         result = distributed_planar_embedding(g)
+        wall = time.perf_counter() - t0
         n = g.num_nodes
         d = max(2, 2 * result.bfs_depth)
         bound = d * min(math.log2(n), d)
         ratios.append(result.rounds / bound)
         regime = "D^2" if d < math.log2(n) else "D*log n"
+        if report is not None:
+            report.record_run(
+                g, result, wall, family=name, regime=regime,
+                rounds_over_bound=round(result.rounds / bound, 3),
+            )
         rows.append(
             [name, n, d, result.rounds, round(result.rounds / bound, 2), regime]
         )
@@ -48,8 +56,8 @@ def run_experiment():
     return ratios
 
 
-def test_e11_crossover(run_once):
-    ratios = run_once(run_experiment)
+def test_e11_crossover(run_once, bench_report):
+    ratios = run_once(run_experiment, bench_report)
     assert verdict(
         "E11: rounds/(D*min(log n, D)) bounded in both regimes",
         max(ratios) <= 30 and max(ratios) / min(ratios) <= 30,

@@ -7,20 +7,35 @@ alone) removes the guarantee: on path-like BFS trees the recursion depth
 degenerates toward the tree depth and the round count inflates.
 """
 
+import time
+
 from repro import DistributedPlanarEmbedding
 from repro.analysis import print_table, verdict
 from repro.planar.generators import caterpillar, grid_graph
 
 
-def run_experiment():
+def run_experiment(report=None):
     rows = []
     data = []
     for name, g in [
         ("grid14", grid_graph(14, 14)),
         ("caterpillar60x3", caterpillar(60, 3)),
     ]:
+        t0 = time.perf_counter()
         balanced = DistributedPlanarEmbedding(g, splitter_strategy="balanced").run()
+        wall_balanced = time.perf_counter() - t0
+        t0 = time.perf_counter()
         naive = DistributedPlanarEmbedding(g, splitter_strategy="root").run()
+        wall_naive = time.perf_counter() - t0
+        if report is not None:
+            report.record_run(
+                g, balanced, wall_balanced, family=name, strategy="balanced",
+                recursion_depth=balanced.recursion_depth,
+            )
+            report.record_run(
+                g, naive, wall_naive, family=name, strategy="root",
+                recursion_depth=naive.recursion_depth,
+            )
         rows.append(
             [name, balanced.recursion_depth, naive.recursion_depth,
              balanced.rounds, naive.rounds]
@@ -35,8 +50,8 @@ def run_experiment():
     return data
 
 
-def test_e12_ablation(run_once):
-    data = run_once(run_experiment)
+def test_e12_ablation(run_once, bench_report):
+    data = run_once(run_experiment, bench_report)
     ok = True
     for balanced, naive in data:
         ok &= naive.recursion_depth >= 2 * balanced.recursion_depth

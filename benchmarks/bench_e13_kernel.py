@@ -18,7 +18,7 @@ from repro.planar.generators import (
 )
 
 
-def run_experiment():
+def run_experiment(report=None):
     rows, ns, times = [], [], []
     for n in (500, 1000, 2000, 4000, 8000):
         g = random_maximal_planar(n, seed=n)
@@ -26,6 +26,8 @@ def run_experiment():
         rot = lr_planarity(g)
         dt = time.perf_counter() - t0
         assert rot is not None and rot.genus() == 0
+        if report is not None:
+            report.record(n=n, m=g.num_edges, wall_s=round(dt, 6))
         ns.append(n)
         times.append(dt)
         rows.append([n, g.num_edges, round(dt * 1000, 1)])
@@ -42,8 +44,8 @@ def run_experiment():
     return ns, times, decisions_ok
 
 
-def test_e13_kernel(run_once):
-    ns, times, decisions_ok = run_once(run_experiment)
+def test_e13_kernel(run_once, bench_report):
+    ns, times, decisions_ok = run_once(run_experiment, bench_report)
     fit = fit_power_law(ns, times)
     ok = verdict(
         "E13: kernel scales near-linearly",

@@ -9,13 +9,14 @@ linear growth of the trivial algorithm.
 """
 
 import math
+import time
 
 from repro import distributed_planar_embedding
 from repro.analysis import bound_ratios, fit_power_law, print_table, verdict
 from repro.planar.generators import grid_graph, random_maximal_planar, triangulated_grid
 
 
-def run_experiment():
+def run_experiment(report=None):
     series = {}
     rows = []
     for name, make in [
@@ -26,11 +27,15 @@ def run_experiment():
         ns, ds, rounds = [], [], []
         for k in (8, 12, 17, 24, 34):
             g = make(k)
+            t0 = time.perf_counter()
             result = distributed_planar_embedding(g)
+            wall = time.perf_counter() - t0
             d = max(1, 2 * result.bfs_depth)  # 2-approx of D, as the paper uses
             ns.append(g.num_nodes)
             ds.append(d)
             rounds.append(result.rounds)
+            if report is not None:
+                report.record_run(g, result, wall, family=name)
             rows.append(
                 [name, g.num_nodes, d, result.rounds,
                  round(result.rounds / max(1.0, d * math.log2(g.num_nodes)), 2)]
@@ -44,8 +49,8 @@ def run_experiment():
     return series
 
 
-def test_e1_headline(run_once):
-    series = run_once(run_experiment)
+def test_e1_headline(run_once, bench_report):
+    series = run_once(run_experiment, bench_report)
     ok = True
     for name, (ns, ds, rounds) in series.items():
         ratios = bound_ratios(rounds, ns, ds)

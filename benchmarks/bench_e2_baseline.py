@@ -6,18 +6,26 @@ O(D log n) algorithm once n passes a few hundred, and the advantage
 factor keeps growing with n — the reason the paper's program exists.
 """
 
+import time
+
 from repro import distributed_planar_embedding, trivial_baseline_embedding
 from repro.analysis import fit_power_law, print_table, verdict
 from repro.planar.generators import grid_graph
 
 
-def run_experiment():
+def run_experiment(report=None):
     rows = []
     ns, alg_rounds, base_rounds = [], [], []
     for k in (6, 9, 13, 19, 27, 38):
         g = grid_graph(k, k)
+        t0 = time.perf_counter()
         alg = distributed_planar_embedding(g)
+        t1 = time.perf_counter()
         base = trivial_baseline_embedding(g)
+        t2 = time.perf_counter()
+        if report is not None:
+            report.record_run(g, alg, t1 - t0, algorithm="theorem-1.1")
+            report.record_run(g, base, t2 - t1, algorithm="baseline")
         ns.append(g.num_nodes)
         alg_rounds.append(alg.rounds)
         base_rounds.append(base.rounds)
@@ -33,8 +41,8 @@ def run_experiment():
     return ns, alg_rounds, base_rounds
 
 
-def test_e2_baseline(run_once):
-    ns, alg_rounds, base_rounds = run_once(run_experiment)
+def test_e2_baseline(run_once, bench_report):
+    ns, alg_rounds, base_rounds = run_once(run_experiment, bench_report)
     base_fit = fit_power_law(ns, base_rounds)
     alg_fit = fit_power_law(ns, alg_rounds)
     ok = verdict(

@@ -8,17 +8,23 @@ and (b) they stay within the O(D * min(log n, D)) envelope, i.e. the
 ratio rounds/D stays within an O(log n) band of the optimum.
 """
 
+import time
+
 from repro import distributed_planar_embedding
 from repro.analysis import fit_power_law, print_table, verdict
 from repro.planar.generators import k4_subdivision
 
 
-def run_experiment():
+def run_experiment(report=None):
     rows, ds, rounds = [], [], []
     for segments in (4, 8, 16, 32, 64):
         g = k4_subdivision(segments)
+        t0 = time.perf_counter()
         result = distributed_planar_embedding(g)
+        wall = time.perf_counter() - t0
         d = 2 * result.bfs_depth
+        if report is not None:
+            report.record_run(g, result, wall, segments=segments)
         ds.append(d)
         rounds.append(result.rounds)
         rows.append([segments, g.num_nodes, d, result.rounds, round(result.rounds / d, 2)])
@@ -30,8 +36,8 @@ def run_experiment():
     return ds, rounds
 
 
-def test_e3_lowerbound(run_once):
-    ds, rounds = run_once(run_experiment)
+def test_e3_lowerbound(run_once, bench_report):
+    ds, rounds = run_once(run_experiment, bench_report)
     fit = fit_power_law(ds, rounds)
     ok = verdict(
         "E3: rounds grow ~linearly in D on the lower-bound family",

@@ -7,6 +7,7 @@ deeper than d times, since every level strictly peels the tree).
 """
 
 import math
+import time
 
 from repro import distributed_planar_embedding
 from repro.analysis import print_table, verdict
@@ -19,7 +20,7 @@ from repro.planar.generators import (
 )
 
 
-def run_experiment():
+def run_experiment(report=None):
     rows = []
     data = []
     for name, g in [
@@ -30,7 +31,13 @@ def run_experiment():
         ("cycle300", cycle_graph(300)),
         ("tree500", random_tree(500, 5)),
     ]:
+        t0 = time.perf_counter()
         result = distributed_planar_embedding(g)
+        wall = time.perf_counter() - t0
+        if report is not None:
+            report.record_run(
+                g, result, wall, family=name, recursion_depth=result.recursion_depth
+            )
         n = g.num_nodes
         log_bound = math.log(n, 1.5) + 2
         rows.append(
@@ -46,8 +53,8 @@ def run_experiment():
     return data
 
 
-def test_e4_recursion_depth(run_once):
-    data = run_once(run_experiment)
+def test_e4_recursion_depth(run_once, bench_report):
+    data = run_once(run_experiment, bench_report)
     ok = True
     for n, bfs_depth, depth, log_bound in data:
         ok &= depth <= log_bound

@@ -6,6 +6,8 @@ checked through the subtree-depth bound (each part is a BFS subtree
 rooted one level below T_s's root, so its depth is <= depth(T_s) - 1).
 """
 
+import time
+
 from repro import distributed_planar_embedding
 from repro.analysis import print_table, verdict
 from repro.planar.generators import (
@@ -16,7 +18,7 @@ from repro.planar.generators import (
 )
 
 
-def run_experiment():
+def run_experiment(report=None):
     rows = []
     audits = []
     for name, g in [
@@ -25,7 +27,11 @@ def run_experiment():
         ("maximal300", random_maximal_planar(300, 7)),
         ("delaunay300", delaunay_triangulation(300, 9)[0]),
     ]:
+        t0 = time.perf_counter()
         result = distributed_planar_embedding(g)
+        wall = time.perf_counter() - t0
+        if report is not None:
+            report.record_run(g, result, wall, family=name)
         calls = [r for r in result.trace if r.part_sizes]
         worst_ratio = max(
             max(sizes) / record.subtree_size
@@ -43,8 +49,8 @@ def run_experiment():
     return audits
 
 
-def test_e5_partition(run_once):
-    audits = run_once(run_experiment)
+def test_e5_partition(run_once, bench_report):
+    audits = run_once(run_experiment, bench_report)
     ok = all(ratio <= 2 / 3 + 1e-9 for ratio, _ in audits)
     ok &= all(p0_ok for _, p0_ok in audits)
     assert verdict(

@@ -6,8 +6,9 @@ full safety property at each recursive call: the partition
 non-trivial part has a connected complement.
 """
 
+import time
+
 from repro.analysis import print_table, verdict
-from repro.congest.metrics import RoundMetrics
 from repro.core import PartitionState, fresh_part
 from repro.core.algorithm import _wrap
 from repro.planar.generators import cylinder_graph, grid_graph, random_maximal_planar
@@ -65,7 +66,7 @@ def audit_partitions(graph):
     return checked, safe
 
 
-def run_experiment():
+def run_experiment(report=None):
     rows = []
     results = []
     for name, g in [
@@ -73,7 +74,15 @@ def run_experiment():
         ("cylinder6x14", cylinder_graph(6, 14)),
         ("maximal150", random_maximal_planar(150, 4)),
     ]:
+        t0 = time.perf_counter()
         checked, safe = audit_partitions(g)
+        wall = time.perf_counter() - t0
+        if report is not None:
+            report.record(
+                family=name, n=g.num_nodes, m=g.num_edges,
+                partitions_checked=checked, partitions_safe=safe,
+                wall_s=round(wall, 6),
+            )
         rows.append([name, checked, safe])
         results.append((checked, safe))
     print_table(
@@ -84,8 +93,8 @@ def run_experiment():
     return results
 
 
-def test_e6_safety(run_once):
-    results = run_once(run_experiment)
+def test_e6_safety(run_once, bench_report):
+    results = run_once(run_experiment, bench_report)
     ok = all(checked == safe and checked > 0 for checked, safe in results)
     assert verdict(
         "E6: every recursion partition satisfies the safety property",

@@ -8,6 +8,7 @@ merge progress: a constant fraction of nodes gets grouped.
 """
 
 import random
+import time
 
 from repro.analysis import print_table, verdict
 from repro.core import symmetry_break
@@ -25,10 +26,11 @@ def greedy_coloring(g, rng):
     return colors
 
 
-def run_experiment():
+def run_experiment(report=None):
     rows = []
     data = []
     for n in (10, 40, 160, 640):
+        t0 = time.perf_counter()
         steps_max = 0
         grouped_frac_min = 1.0
         for seed in range(8):
@@ -41,6 +43,12 @@ def run_experiment():
                 len(c) for c in out.chains if len(c) >= 2
             )
             grouped_frac_min = min(grouped_frac_min, grouped / n)
+        if report is not None:
+            report.record(
+                n=n, seeds=8, max_super_rounds=steps_max,
+                min_grouped_fraction=round(grouped_frac_min, 4),
+                wall_s=round(time.perf_counter() - t0, 6),
+            )
         rows.append([n, steps_max, round(grouped_frac_min, 2)])
         data.append((n, steps_max, grouped_frac_min))
     print_table(
@@ -51,8 +59,8 @@ def run_experiment():
     return data
 
 
-def test_e7_symmetry(run_once):
-    data = run_once(run_experiment)
+def test_e7_symmetry(run_once, bench_report):
+    data = run_once(run_experiment, bench_report)
     steps = [s for _, s, _ in data]
     ok = verdict(
         "E7: super-rounds constant across a 64x size range",

@@ -8,6 +8,8 @@ We measure the worst final-instance-to-|P0| ratio over all recursive
 calls on several families.
 """
 
+import time
+
 from repro import distributed_planar_embedding
 from repro.analysis import print_table, verdict
 from repro.planar.generators import (
@@ -18,7 +20,7 @@ from repro.planar.generators import (
 )
 
 
-def run_experiment():
+def run_experiment(report=None):
     rows = []
     worst_ratios = []
     for name, g in [
@@ -27,7 +29,11 @@ def run_experiment():
         ("maximal400", random_maximal_planar(400, 11)),
         ("delaunay400", delaunay_triangulation(400, 13)[0]),
     ]:
+        t0 = time.perf_counter()
         result = distributed_planar_embedding(g)
+        wall = time.perf_counter() - t0
+        if report is not None:
+            report.record_run(g, result, wall, family=name)
         worst = 0.0
         iter_reductions = []
         for record in result.trace:
@@ -58,8 +64,8 @@ def run_experiment():
     return worst_ratios
 
 
-def test_e8_reduction(run_once):
-    worst_ratios = run_once(run_experiment)
+def test_e8_reduction(run_once, bench_report):
+    worst_ratios = run_once(run_experiment, bench_report)
     assert verdict(
         "E8: final merges are restricted (parts = O(|P0|))",
         max(worst_ratios) <= 4.0,

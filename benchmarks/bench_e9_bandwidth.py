@@ -11,21 +11,30 @@ omega~(D) bits".  We check two measured quantities:
 """
 
 import math
+import time
 
 from repro import distributed_planar_embedding
 from repro.analysis import fit_power_law, print_table, verdict
 from repro.planar.generators import grid_graph
 
 
-def run_experiment():
+def run_experiment(report=None):
     rows = []
     ns, ds, per_edge = [], [], []
     max_edge_words = 0
     for k in (8, 12, 17, 24, 34):
         g = grid_graph(k, k)
+        t0 = time.perf_counter()
         result = distributed_planar_embedding(g)
+        wall = time.perf_counter() - t0
         m = result.metrics
         volume = m.total_words / g.num_edges
+        if report is not None:
+            report.record_run(
+                g, result, wall,
+                words_per_edge=round(volume, 3),
+                max_words_edge_round=m.max_words_edge_round,
+            )
         d = 2 * result.bfs_depth
         ns.append(g.num_nodes)
         ds.append(d)
@@ -44,8 +53,8 @@ def run_experiment():
     return ns, ds, per_edge, max_edge_words
 
 
-def test_e9_bandwidth(run_once):
-    ns, ds, per_edge, max_edge_words = run_once(run_experiment)
+def test_e9_bandwidth(run_once, bench_report):
+    ns, ds, per_edge, max_edge_words = run_once(run_experiment, bench_report)
     ok = verdict(
         "E9: real messages within O(log n) bits per edge per round",
         max_edge_words <= 8,

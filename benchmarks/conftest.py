@@ -4,15 +4,98 @@ Each bench runs its experiment once under pytest-benchmark (timing the
 whole sweep), prints the table of the series it reproduces — the
 stand-in for the corresponding figure in EXPERIMENTS.md — and asserts
 the claimed *shape* (who wins, what exponent, which bound holds).
+
+Every bench also feeds the shared :class:`BenchReport`, which persists
+one ``BENCH_<experiment>.json`` per bench at the repository root with
+machine-readable per-datapoint records (n, D, rounds, words, wall-clock
+seconds, ...).  These files are the perf trajectory: successive PRs
+append comparable numbers, so regressions and wins show up as diffs.
 """
 
 from __future__ import annotations
 
+import json
 import sys
+import time
+from pathlib import Path
 
 import pytest
 
 sys.setrecursionlimit(100_000)  # deep recursions in the E12 ablation
+
+REPORT_SCHEMA_VERSION = 1
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+class BenchReport:
+    """Collects per-datapoint records for one bench and writes them as
+    ``BENCH_<name>.json``.
+
+    ``record()`` takes arbitrary scalar fields; ``record_run()`` is the
+    shorthand for an :class:`~repro.core.algorithm.EmbeddingResult`
+    (captures n, m, D, rounds, messages, words).  With ``name=None``
+    the report is collected but never written (handy for calling
+    ``run_experiment`` outside pytest).
+    """
+
+    def __init__(self, name: str | None, out_dir: Path | None = None) -> None:
+        self.name = name
+        self.out_dir = out_dir or _REPO_ROOT
+        self.records: list[dict] = []
+        self._t0 = time.perf_counter()
+
+    @staticmethod
+    def timed(fn, *args, **kwargs):
+        """Run ``fn`` and return ``(result, wall_seconds)``."""
+        t0 = time.perf_counter()
+        result = fn(*args, **kwargs)
+        return result, time.perf_counter() - t0
+
+    def record(self, **fields) -> dict:
+        self.records.append(fields)
+        return fields
+
+    def record_run(self, graph, result, wall_s: float, **extra) -> dict:
+        """One embedding run: the standard perf-trajectory record."""
+        return self.record(
+            n=graph.num_nodes,
+            m=graph.num_edges,
+            D=2 * result.bfs_depth,
+            rounds=result.rounds,
+            messages=result.metrics.messages,
+            words=result.metrics.total_words,
+            wall_s=round(wall_s, 6),
+            **extra,
+        )
+
+    @property
+    def path(self) -> Path | None:
+        return None if self.name is None else self.out_dir / f"BENCH_{self.name}.json"
+
+    def write(self) -> Path | None:
+        if self.path is None:
+            return None
+        payload = {
+            "schema": REPORT_SCHEMA_VERSION,
+            "bench": self.name,
+            "total_wall_s": round(time.perf_counter() - self._t0, 6),
+            "records": self.records,
+        }
+        self.path.write_text(json.dumps(payload, indent=2, default=repr) + "\n")
+        return self.path
+
+
+@pytest.fixture
+def bench_report(request):
+    """The bench's report sink; written to ``BENCH_<experiment>.json`` at
+    the repository root when the test finishes (pass or fail)."""
+    module = request.module.__name__.rpartition(".")[-1]
+    name = module.removeprefix("bench_")
+    report = BenchReport(name)
+    yield report
+    path = report.write()
+    if path is not None:
+        print(f"[bench-report] {len(report.records)} records -> {path}")
 
 
 @pytest.fixture

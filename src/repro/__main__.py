@@ -4,20 +4,32 @@ Usage::
 
     python -m repro <edgelist-file> [--baseline] [--bandwidth W] [--quiet]
     python -m repro --demo grid 8 8
+    python -m repro --demo grid 8 8 --trace run.jsonl --json
+    python -m repro --view-trace run.jsonl
 
 The edge-list format is one edge per line, two whitespace-separated
 integer node IDs; blank lines and ``#`` comments are ignored.  The tool
 runs the distributed planar embedding (or the trivial baseline), prints
 per-vertex clockwise orders and the round ledger, and exits non-zero on
 non-planar input (printing a Kuratowski witness).
+
+Observability: ``--trace FILE`` writes a JSONL span trace of the run
+(``-`` = stdout), ``--json`` prints a machine-readable run report to
+stdout, and ``--view-trace FILE`` renders a previously captured trace
+as an ASCII recursion tree + phase timeline.  Whenever stdout carries
+machine output, the human-readable report moves to stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import functools
+import json
 import sys
+import time
 
 from .core import NonPlanarNetworkError, DistributedPlanarEmbedding, trivial_baseline_embedding
+from .obs import Tracer
 from .planar import Graph
 from .planar.kuratowski import classify_kuratowski, kuratowski_subgraph
 
@@ -56,6 +68,20 @@ def demo_graph(args: list[str]) -> Graph:
     return factories[name](*(int(p) for p in params))
 
 
+def view_trace(path: str) -> int:
+    from .analysis import load_trace, render_phase_timeline, render_trace_tree
+
+    try:
+        root = load_trace(sys.stdin if path == "-" else path)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot read trace {path!r}: {exc}") from exc
+    print(render_trace_tree(root))
+    print()
+    print("rounds by phase (parallel branches sum — a work view, not a clock):")
+    print(render_phase_timeline(root))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -70,43 +96,116 @@ def main(argv: list[str] | None = None) -> int:
                         help="CONGEST words per edge per round (default 1)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-vertex rotations")
+    parser.add_argument("--trace", metavar="FILE",
+                        help="write a JSONL span trace of the run (- = stdout)")
+    parser.add_argument("--json", action="store_true",
+                        help="print a machine-readable run report to stdout")
+    parser.add_argument("--view-trace", metavar="FILE", dest="view_trace",
+                        help="render a JSONL trace as an ASCII tree and exit")
     args = parser.parse_args(argv)
 
+    if args.view_trace is not None:
+        if args.edgelist is not None or args.demo is not None:
+            parser.error("--view-trace takes no network input")
+        return view_trace(args.view_trace)
     if (args.edgelist is None) == (args.demo is None):
         parser.error("provide exactly one of an edge-list file or --demo")
-    graph = demo_graph(args.demo) if args.demo else load_edgelist(args.edgelist)
-    print(f"network: n={graph.num_nodes}, m={graph.num_edges}")
+    if args.json and args.trace == "-":
+        parser.error("--json and --trace - both claim stdout; trace to a file instead")
+    if args.baseline and args.trace is not None:
+        parser.error("--trace instruments the Theorem 1.1 pipeline, not --baseline")
 
+    # When stdout carries machine output (a report or a trace), the
+    # human-readable account moves to stderr so both stay parseable.
+    machine_stdout = args.json or args.trace == "-"
+    say = functools.partial(print, file=sys.stderr) if machine_stdout else print
+
+    graph = demo_graph(args.demo) if args.demo else load_edgelist(args.edgelist)
+    say(f"network: n={graph.num_nodes}, m={graph.num_edges}")
+
+    tracer = Tracer() if args.trace is not None else None
+    # Open the trace sink before the (possibly long) run so a bad path
+    # fails fast instead of discarding the finished trace.
+    trace_sink = None
+    if args.trace == "-":
+        trace_sink = sys.stdout
+    elif args.trace is not None:
+        try:
+            trace_sink = open(args.trace, "w")
+        except OSError as exc:
+            parser.error(f"cannot open trace file {args.trace!r}: {exc}")
+    t0 = time.perf_counter()
     try:
         if args.baseline:
             result = trivial_baseline_embedding(graph, bandwidth_words=args.bandwidth)
-            print("algorithm: trivial gather-everything baseline (footnote 2)")
+            say("algorithm: trivial gather-everything baseline (footnote 2)")
         else:
-            result = DistributedPlanarEmbedding(
-                graph, bandwidth_words=args.bandwidth
-            ).run()
-            print("algorithm: Theorem 1.1 distributed planar embedding")
+            driver = DistributedPlanarEmbedding(
+                graph, bandwidth_words=args.bandwidth, tracer=tracer
+            )
+            result = driver.run()
+            say("algorithm: Theorem 1.1 distributed planar embedding")
     except NonPlanarNetworkError:
-        print("result: NOT PLANAR")
+        wall_s = time.perf_counter() - t0
+        _dump_trace(tracer, trace_sink)
+        say("result: NOT PLANAR")
         witness = kuratowski_subgraph(graph)
         kind = classify_kuratowski(witness)
-        print(f"Kuratowski witness: a {kind} subdivision on "
-              f"{witness.num_nodes} nodes / {witness.num_edges} edges:")
+        say(f"Kuratowski witness: a {kind} subdivision on "
+            f"{witness.num_nodes} nodes / {witness.num_edges} edges:")
         for u, v in sorted(witness.edges(), key=repr):
-            print(f"  {u} -- {v}")
+            say(f"  {u} -- {v}")
+        if args.json:
+            metrics = driver.last_metrics
+            print(json.dumps({
+                "type": "run-report",
+                "planar": False,
+                "n": graph.num_nodes,
+                "m": graph.num_edges,
+                "wall_s": round(wall_s, 6),
+                "witness": {
+                    "kind": kind,
+                    "nodes": witness.num_nodes,
+                    "edges": sorted([list(e) for e in witness.edges()], key=repr),
+                },
+                "metrics": metrics.to_dict() if metrics is not None else None,
+            }))
         return 1
+    wall_s = time.perf_counter() - t0
 
-    print(f"result: planar embedding in {result.rounds} CONGEST rounds")
+    _dump_trace(tracer, trace_sink)
+    say(f"result: planar embedding in {result.rounds} CONGEST rounds")
     if result.trace:
-        print(f"recursion depth: {result.recursion_depth}")
+        say(f"recursion depth: {result.recursion_depth}")
     if not args.quiet:
-        print("clockwise edge orders:")
+        say("clockwise edge orders:")
         for v in sorted(result.rotation, key=repr):
-            print(f"  {v}: {' '.join(str(u) for u in result.rotation[v])}")
-    print("round ledger:")
-    for phase, rounds in sorted(result.metrics.phase_rounds.items(), key=lambda x: -x[1]):
-        print(f"  {phase:32s} {rounds:7d}")
+            say(f"  {v}: {' '.join(str(u) for u in result.rotation[v])}")
+    say("round ledger:")
+    breakdown = result.metrics.phase_breakdown()
+    for phase, row in sorted(breakdown.items(), key=lambda x: -x[1]["rounds"]):
+        say(f"  {phase:32s} {row['rounds']:7d} rounds {row['words']:9d} words")
+    if args.json:
+        report = result.to_report() if hasattr(result, "to_report") else {
+            "type": "run-report",
+            "planar": True,
+            "n": graph.num_nodes,
+            "m": graph.num_edges,
+            "rounds": result.rounds,
+            "metrics": result.metrics.to_dict(),
+        }
+        report["wall_s"] = round(wall_s, 6)
+        report["algorithm"] = "baseline" if args.baseline else "theorem-1.1"
+        print(json.dumps(report, default=repr))
     return 0
+
+
+def _dump_trace(tracer: Tracer | None, sink) -> None:
+    if tracer is None or sink is None:
+        return
+    tracer.write_jsonl(sink)
+    if sink is not sys.stdout:
+        sink.close()
 
 
 if __name__ == "__main__":

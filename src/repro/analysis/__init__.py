@@ -1,4 +1,4 @@
-"""Scaling fits and table formatting for the experiment harness."""
+"""Scaling fits, table formatting, and trace rendering for the harness."""
 
 from .complexity import (
     PowerFit,
@@ -8,6 +8,7 @@ from .complexity import (
     headline_bound,
 )
 from .tables import format_table, print_table, verdict
+from .traceview import load_trace, render_phase_timeline, render_trace_tree
 
 __all__ = [
     "PowerFit",
@@ -18,4 +19,7 @@ __all__ = [
     "format_table",
     "print_table",
     "verdict",
+    "load_trace",
+    "render_trace_tree",
+    "render_phase_timeline",
 ]

@@ -4,23 +4,60 @@ Every execution — real message passing and cost-model charges alike —
 flows through one :class:`RoundMetrics` ledger, so the experiment harness
 can report a single, auditable round count per run, broken down by phase
 (the provenance of every charged cost is retained).
+
+Observability hooks: a ledger may carry an *observer* (any object with
+``on_round(round_no, messages, words, max_edge_words)`` and
+``on_charge(charge)`` — in practice a :class:`repro.obs.Tracer`).  The
+simulator reads the slot once per execution and skips all notification
+code when it is ``None``, so untraced runs pay nothing on the per-round
+hot path.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 __all__ = ["Charge", "RoundMetrics"]
 
 
 @dataclass(frozen=True)
 class Charge:
-    """One accounted cost item with its provenance."""
+    """One accounted cost item with its provenance.
+
+    ``kind`` distinguishes cost-model charges (``"charge"``, from the
+    Remark-1 pipelined formulas) from real executions attributed after
+    the fact (``"real"``, written by ``CongestNetwork.run`` with the
+    measured traffic of the execution).
+    """
 
     phase: str
     rounds: int
     words: int = 0
     detail: str = ""
+    messages: int = 0
+    kind: str = "charge"  # "charge" | "real"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "phase": self.phase,
+            "rounds": self.rounds,
+            "words": self.words,
+            "detail": self.detail,
+            "messages": self.messages,
+            "kind": self.kind,
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "Charge":
+        return cls(
+            phase=d["phase"],
+            rounds=d["rounds"],
+            words=d.get("words", 0),
+            detail=d.get("detail", ""),
+            messages=d.get("messages", 0),
+            kind=d.get("kind", "charge"),
+        )
 
 
 @dataclass
@@ -33,6 +70,9 @@ class RoundMetrics:
     max_words_edge_round: int = 0
     charges: list[Charge] = field(default_factory=list)
     phase_rounds: dict[str, int] = field(default_factory=dict)
+    # Observability slot — not part of the ledger's value (excluded from
+    # comparison and serialization).  See module docstring.
+    observer: Any | None = field(default=None, repr=False, compare=False)
 
     # -- real execution ----------------------------------------------------
 
@@ -45,7 +85,9 @@ class RoundMetrics:
 
     # -- cost-model charges --------------------------------------------------
 
-    def charge(self, phase: str, rounds: int, words: int = 0, detail: str = "") -> None:
+    def charge(
+        self, phase: str, rounds: int, words: int = 0, detail: str = "", messages: int = 0
+    ) -> None:
         """Charge ``rounds`` rounds (and ``words`` words of traffic) to ``phase``.
 
         Used for operations the paper's Remark 1 declares standard
@@ -57,12 +99,34 @@ class RoundMetrics:
             raise ValueError("cannot charge negative rounds")
         self.rounds += rounds
         self.total_words += words
-        self.charges.append(Charge(phase, rounds, words, detail))
+        self.messages += messages
+        item = Charge(phase, rounds, words=words, detail=detail, messages=messages)
+        self.charges.append(item)
         self.phase_rounds[phase] = self.phase_rounds.get(phase, 0) + rounds
+        if self.observer is not None:
+            self.observer.on_charge(item)
 
-    def tag_phase(self, phase: str, rounds: int) -> None:
-        """Attribute already-recorded real rounds to a named phase."""
+    def tag_phase(
+        self, phase: str, rounds: int, messages: int = 0, words: int = 0, detail: str = ""
+    ) -> None:
+        """Attribute already-recorded real rounds (and traffic) to a phase.
+
+        The rounds/words/messages were counted by :meth:`record_round`
+        as they happened; this only files their provenance, as a
+        ``kind="real"`` :class:`Charge`.
+        """
         self.phase_rounds[phase] = self.phase_rounds.get(phase, 0) + rounds
+        item = Charge(
+            phase,
+            rounds,
+            words=words,
+            detail=detail or "real execution",
+            messages=messages,
+            kind="real",
+        )
+        self.charges.append(item)
+        if self.observer is not None:
+            self.observer.on_charge(item)
 
     # -- composition ----------------------------------------------------------
 
@@ -93,11 +157,61 @@ class RoundMetrics:
         for phase, r in other.phase_rounds.items():
             self.phase_rounds[phase] = self.phase_rounds.get(phase, 0) + r
 
+    # -- reporting -------------------------------------------------------------
+
+    def phase_breakdown(self) -> dict[str, dict[str, int]]:
+        """Per-phase ``{rounds, messages, words, charges}`` drawn from the
+        retained :class:`Charge` provenance (rounds from the phase ledger,
+        which additionally covers parallel-composition maxima)."""
+        out: dict[str, dict[str, int]] = {
+            phase: {"rounds": r, "messages": 0, "words": 0, "charges": 0}
+            for phase, r in self.phase_rounds.items()
+        }
+        for c in self.charges:
+            row = out.setdefault(
+                c.phase, {"rounds": 0, "messages": 0, "words": 0, "charges": 0}
+            )
+            row["messages"] += c.messages
+            row["words"] += c.words
+            row["charges"] += 1
+        return out
+
+    def to_dict(self) -> dict[str, Any]:
+        """The ledger as plain data (JSON-ready): totals, the per-phase
+        breakdown, and every charge with its provenance."""
+        return {
+            "rounds": self.rounds,
+            "messages": self.messages,
+            "total_words": self.total_words,
+            "max_words_edge_round": self.max_words_edge_round,
+            "phase_rounds": dict(self.phase_rounds),
+            "phases": self.phase_breakdown(),
+            "charges": [c.to_dict() for c in self.charges],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict[str, Any]) -> "RoundMetrics":
+        """Inverse of :meth:`to_dict` (the derived ``phases`` view and the
+        observer slot are not part of the round-tripped value)."""
+        return cls(
+            rounds=d["rounds"],
+            messages=d["messages"],
+            total_words=d["total_words"],
+            max_words_edge_round=d["max_words_edge_round"],
+            charges=[Charge.from_dict(c) for c in d.get("charges", [])],
+            phase_rounds=dict(d.get("phase_rounds", {})),
+        )
+
     def summary(self) -> str:
         lines = [
             f"rounds={self.rounds} messages={self.messages} "
             f"words={self.total_words} max_edge_words={self.max_words_edge_round}"
         ]
-        for phase in sorted(self.phase_rounds):
-            lines.append(f"  {phase}: {self.phase_rounds[phase]} rounds")
+        breakdown = self.phase_breakdown()
+        for phase in sorted(breakdown):
+            row = breakdown[phase]
+            lines.append(
+                f"  {phase}: {row['rounds']} rounds, "
+                f"{row['messages']} msgs, {row['words']} words"
+            )
         return "\n".join(lines)

@@ -43,6 +43,9 @@ class CongestNetwork:
         self.bandwidth_words = bandwidth_words
         self.metrics = metrics if metrics is not None else RoundMetrics()
         self.word_bits = word_bits(max(1, graph.num_nodes))
+        # Per-round observer (e.g. a repro.obs.Tracer), inherited from the
+        # ledger; None means the round loop runs with no tracing code at all.
+        self.observer = getattr(self.metrics, "observer", None)
 
     def run(
         self,
@@ -59,6 +62,9 @@ class CongestNetwork:
         if set(programs) != set(self.graph.nodes()):
             raise ProtocolViolationError("programs must cover exactly the graph's nodes")
 
+        observer = self.observer
+        messages_before = self.metrics.messages
+        words_before = self.metrics.total_words
         in_flight: dict[NodeId, dict[NodeId, Any]] = {v: {} for v in programs}
         pending = 0
         rounds_used = 0
@@ -68,14 +74,18 @@ class CongestNetwork:
         pending = self._post(outboxes, in_flight)
         if pending:
             rounds_used += 1
-            self._account(outboxes)
+            stats = self._account(outboxes)
+            if observer is not None:
+                observer.on_round(1, *stats)
 
         round_no = 1
         while True:
             if all(programs[v].done for v in programs) and pending == 0:
                 break
             if round_no > max_rounds:
-                raise RoundLimitExceededError(f"no quiescence within {max_rounds} rounds")
+                raise RoundLimitExceededError(
+                    self._limit_diagnosis(programs, phase, round_no, max_rounds, pending)
+                )
             round_no += 1
             inboxes = in_flight
             in_flight = {v: {} for v in programs}
@@ -88,10 +98,17 @@ class CongestNetwork:
                 # A CONGEST round bundles send + receive; an iteration in
                 # which nothing is sent only consumes local computation.
                 rounds_used += 1
-                self._account(outboxes)
+                stats = self._account(outboxes)
+                if observer is not None:
+                    observer.on_round(round_no, *stats)
 
         if phase is not None:
-            self.metrics.tag_phase(phase, rounds_used)
+            self.metrics.tag_phase(
+                phase,
+                rounds_used,
+                messages=self.metrics.messages - messages_before,
+                words=self.metrics.total_words - words_before,
+            )
         return {v: programs[v].result() for v in programs}
 
     # -- internals -------------------------------------------------------
@@ -118,7 +135,9 @@ class CongestNetwork:
                 pending += 1
         return pending
 
-    def _account(self, outboxes: Mapping[NodeId, Mapping[NodeId, Any]]) -> None:
+    def _account(
+        self, outboxes: Mapping[NodeId, Mapping[NodeId, Any]]
+    ) -> tuple[int, int, int]:
         messages = 0
         words = 0
         max_edge = 0
@@ -129,6 +148,29 @@ class CongestNetwork:
                 words += w
                 max_edge = max(max_edge, w)
         self.metrics.record_round(messages, words, max_edge)
+        return messages, words, max_edge
+
+    def _limit_diagnosis(
+        self,
+        programs: Mapping[NodeId, NodeProgram],
+        phase: str | None,
+        round_no: int,
+        max_rounds: int,
+        pending: int,
+    ) -> str:
+        """A RoundLimitExceededError message that says what was still running."""
+        stuck = [v for v in programs if not programs[v].done]
+        examples = ", ".join(repr(v) for v in sorted(stuck, key=repr)[:5])
+        if len(stuck) > 5:
+            examples += ", ..."
+        return (
+            f"no quiescence within {max_rounds} rounds"
+            f" (phase={phase or '<unnamed>'}, stopped at round {round_no};"
+            f" {pending} messages in flight;"
+            f" {len(stuck)}/{len(programs)} programs not done"
+            + (f", e.g. {examples}" if stuck else "")
+            + ")"
+        )
 
 
 def run_program(

@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..congest.metrics import RoundMetrics
+from ..obs import Tracer, maybe_span
 from ..planar.graph import Graph, NodeId, edge_id
 from ..planar.rotation import RotationSystem
 from ..planar.verify import verify_planar_embedding
@@ -67,6 +68,26 @@ class EmbeddingResult:
             r.merge_stats.merge_fallbacks for r in self.trace if r.merge_stats is not None
         )
 
+    def to_report(self) -> dict:
+        """A machine-readable run report (JSON-ready): sizes, round
+        totals, and the full per-phase ledger.  This is what
+        ``python -m repro --json`` prints and what the benchmark
+        reporter persists into ``BENCH_*.json``."""
+        return {
+            "type": "run-report",
+            "planar": True,
+            "n": self.graph.num_nodes,
+            "m": self.graph.num_edges,
+            "rounds": self.rounds,
+            "recursion_depth": self.recursion_depth if self.trace else 0,
+            "merge_fallbacks": self.merge_fallbacks,
+            "bfs_depth": self.bfs_depth,
+            "known_n": self.known_n,
+            "diameter_upper": self.diameter_upper,
+            "leader": repr(self.leader),
+            "metrics": self.metrics.to_dict(),
+        }
+
 
 def _wrap(graph: Graph) -> Graph:
     wrapped = Graph()
@@ -86,12 +107,16 @@ class DistributedPlanarEmbedding:
         bandwidth_words: int = 1,
         verify: bool = True,
         splitter_strategy: str = "balanced",
+        tracer: Tracer | None = None,
     ) -> None:
         """``bandwidth_words`` is the per-edge word budget used in the
         pipelined round charges (CONGEST's ``O(log n)`` bits = O(1)
         words; 1 is the strictest reading).  ``splitter_strategy``
         selects the paper's 2/3-balanced splitter ("balanced") or the
-        naive root split ("root") used by the E12 ablation."""
+        naive root split ("root") used by the E12 ablation.  ``tracer``
+        (a :class:`repro.obs.Tracer`) records a span tree — per phase,
+        per recursive call, per merge — for the run; ``None`` (the
+        default) leaves the pipeline entirely uninstrumented."""
         if graph.num_nodes == 0:
             raise ValueError("cannot embed an empty network")
         if not graph.is_connected():
@@ -100,6 +125,7 @@ class DistributedPlanarEmbedding:
         self.bandwidth_words = bandwidth_words
         self.verify = verify
         self.splitter_strategy = splitter_strategy
+        self.tracer = tracer
         self.last_metrics: RoundMetrics | None = None  # set by run(), kept on failure
 
     def run(self) -> EmbeddingResult:
@@ -109,8 +135,20 @@ class DistributedPlanarEmbedding:
         reset_part_ids()
         reset_copy_serials()
         graph = self.graph
+        tracer = self.tracer
         metrics = RoundMetrics()
+        if tracer is not None:
+            metrics.observer = tracer
         self.last_metrics = metrics
+        with maybe_span(
+            tracer, "run", kind="run", n=graph.num_nodes, m=graph.num_edges
+        ):
+            result = self._run_traced(graph, metrics, tracer)
+        return result
+
+    def _run_traced(
+        self, graph: Graph, metrics: RoundMetrics, tracer: Tracer | None
+    ) -> EmbeddingResult:
         if graph.num_nodes == 1:
             (v,) = graph.nodes()
             rotation = {v: ()}
@@ -127,9 +165,14 @@ class DistributedPlanarEmbedding:
         # Phase 1-2: leader election + BFS, as real node programs; then
         # the Section 2 preamble — every node learns n and a
         # 2-approximation of D by one convergecast + one broadcast.
-        leader = elect_leader(wrapped, metrics=metrics)
-        tree: BfsTree = build_bfs_tree(wrapped, leader, metrics=metrics)
-        known_n, known_ecc = self._preamble(wrapped, tree, metrics)
+        with maybe_span(tracer, "leader-election", kind="phase"):
+            leader = elect_leader(wrapped, metrics=metrics)
+        with maybe_span(tracer, "bfs", kind="phase") as bfs_span:
+            tree: BfsTree = build_bfs_tree(wrapped, leader, metrics=metrics)
+            if bfs_span is not None:
+                bfs_span.attrs["depth"] = tree.depth
+        with maybe_span(tracer, "preamble", kind="phase"):
+            known_n, known_ecc = self._preamble(wrapped, tree, metrics)
 
         # Phase 3: the recursive embedding order.
         ctx = RecursionContext(
@@ -137,6 +180,7 @@ class DistributedPlanarEmbedding:
             tree=tree,
             bandwidth=self.bandwidth_words,
             splitter_strategy=self.splitter_strategy,
+            tracer=tracer,
         )
         part, recursion_metrics = embed_subtree(ctx, leader, level=0)
         metrics.absorb_serial(recursion_metrics)
@@ -156,11 +200,12 @@ class DistributedPlanarEmbedding:
         }
 
         # Phase 5: verification (Edmonds/Euler referee).
-        system = (
-            verify_planar_embedding(graph, rotation)
-            if self.verify
-            else RotationSystem(graph, rotation)
-        )
+        with maybe_span(tracer, "verify", kind="phase"):
+            system = (
+                verify_planar_embedding(graph, rotation)
+                if self.verify
+                else RotationSystem(graph, rotation)
+            )
         return EmbeddingResult(
             graph=graph,
             rotation=rotation,
@@ -202,11 +247,14 @@ class DistributedPlanarEmbedding:
 
 
 def distributed_planar_embedding(
-    graph: Graph, bandwidth_words: int = 1, verify: bool = True
+    graph: Graph,
+    bandwidth_words: int = 1,
+    verify: bool = True,
+    tracer: Tracer | None = None,
 ) -> EmbeddingResult:
     """Convenience wrapper around :class:`DistributedPlanarEmbedding`."""
     return DistributedPlanarEmbedding(
-        graph, bandwidth_words=bandwidth_words, verify=verify
+        graph, bandwidth_words=bandwidth_words, verify=verify, tracer=tracer
     ).run()
 
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..congest.metrics import RoundMetrics
+from ..obs import Tracer, maybe_span
 from ..planar.graph import Graph, NodeId
 from ..primitives.bfs import BfsTree
 from ..primitives.splitter import find_splitter
@@ -58,6 +59,7 @@ class RecursionContext:
     split_tests: int = 0
     split_rejections: int = 0
     splitter_strategy: str = "balanced"  # "balanced" (paper) | "root" (E12 ablation)
+    tracer: Tracer | None = None  # span/event sink; None = zero instrumentation
 
     def __post_init__(self) -> None:
         if self.current is None:
@@ -116,8 +118,18 @@ def embed_subtree(
     Returns the part (its embedding has every half-embedded edge toward
     the outside on one face) and the round metrics of this call,
     including its parallel children.
+
+    When ``ctx.tracer`` is set, the call is wrapped in a ``call`` span
+    (``parallel=True``: sibling calls embed vertex-disjoint parts, so
+    their round totals combine as a max) containing a ``partition``
+    phase span, the child call spans, and a ``merge`` span; the local
+    ledger's observer is pointed at the tracer so real rounds and
+    charges attribute themselves to whichever span is open.
     """
+    tracer = ctx.tracer
     metrics = RoundMetrics()
+    if tracer is not None:
+        metrics.observer = tracer
     vertices = ctx.tree.subtree_nodes(s)
     if len(vertices) == 1:
         part = fresh_part(
@@ -126,59 +138,88 @@ def embed_subtree(
         ctx.trace.append(
             CallRecord(level, s, 1, 0, 0, s, part_sizes=[])
         )
+        if tracer is not None:
+            with tracer.span(
+                "call", kind="call", parallel=True, root=s, level=level, size=1
+            ):
+                pass
         return part, metrics
 
-    # --- partition phase: real distributed subtree stats + token walk. --
-    tree_graph = Graph(nodes=sorted(vertices, key=repr))
-    parent: dict[NodeId, NodeId | None] = {}
-    children: dict[NodeId, list[NodeId]] = {}
-    for v in tree_graph.nodes():
-        parent[v] = ctx.tree.parent[v] if v != s else None
-        children[v] = list(ctx.tree.children[v])
-        if parent[v] is not None:
-            tree_graph.add_edge(v, parent[v])
-    stats = compute_subtree_stats(tree_graph, parent, children, metrics=metrics)
-    if ctx.splitter_strategy == "balanced":
-        splitter = find_splitter(
-            tree_graph, s, parent, children, metrics=metrics, stats=stats
+    with maybe_span(
+        tracer, "call", kind="call", parallel=True,
+        root=s, level=level, size=len(vertices),
+    ) as call_span:
+        # --- partition phase: real distributed subtree stats + token walk. --
+        tree_graph = Graph(nodes=sorted(vertices, key=repr))
+        parent: dict[NodeId, NodeId | None] = {}
+        children: dict[NodeId, list[NodeId]] = {}
+        for v in tree_graph.nodes():
+            parent[v] = ctx.tree.parent[v] if v != s else None
+            children[v] = list(ctx.tree.children[v])
+            if parent[v] is not None:
+                tree_graph.add_edge(v, parent[v])
+        with maybe_span(tracer, "partition", kind="phase"):
+            stats = compute_subtree_stats(tree_graph, parent, children, metrics=metrics)
+            if ctx.splitter_strategy == "balanced":
+                splitter = find_splitter(
+                    tree_graph, s, parent, children, metrics=metrics, stats=stats
+                )
+            elif ctx.splitter_strategy == "root":
+                # E12 ablation: no balancing — P0 degenerates to the root alone,
+                # so hanging parts can keep ~all the vertices and the recursion
+                # depth grows with the tree depth instead of log n.
+                splitter = s
+            else:
+                raise ValueError(f"unknown splitter strategy {ctx.splitter_strategy!r}")
+            if tracer is not None:
+                tracer.event(
+                    "splitter",
+                    root=s,
+                    splitter=splitter,
+                    strategy=ctx.splitter_strategy,
+                    subtree_size=len(vertices),
+                )
+        p0_order = ctx.tree.path_to_descendant(s, splitter)
+        p0_set = set(p0_order)
+        hanging_roots = sorted(
+            {c for v in p0_order for c in children[v] if c not in p0_set}, key=repr
         )
-    elif ctx.splitter_strategy == "root":
-        # E12 ablation: no balancing — P0 degenerates to the root alone,
-        # so hanging parts can keep ~all the vertices and the recursion
-        # depth grows with the tree depth instead of log n.
-        splitter = s
-    else:
-        raise ValueError(f"unknown splitter strategy {ctx.splitter_strategy!r}")
-    p0_order = ctx.tree.path_to_descendant(s, splitter)
-    p0_set = set(p0_order)
-    hanging_roots = sorted(
-        {c for v in p0_order for c in children[v] if c not in p0_set}, key=repr
-    )
 
-    # --- parallel recursion on the hanging subtrees. ---------------------
-    parts: list[PartEmbedding] = []
-    branch_metrics: list[RoundMetrics] = []
-    for w in hanging_roots:
-        part, branch = embed_subtree(ctx, w, level + 1)
-        parts.append(part)
-        branch_metrics.append(branch)
-    metrics.absorb_parallel(branch_metrics, phase="recursion")
+        # --- parallel recursion on the hanging subtrees. ---------------------
+        parts: list[PartEmbedding] = []
+        branch_metrics: list[RoundMetrics] = []
+        for w in hanging_roots:
+            part, branch = embed_subtree(ctx, w, level + 1)
+            parts.append(part)
+            branch_metrics.append(branch)
+        metrics.absorb_parallel(branch_metrics, phase="recursion")
 
-    # --- merge: P0 plus the hanging parts. --------------------------------
-    p0_graph = Graph(nodes=p0_order)
-    for a, b in zip(p0_order, p0_order[1:]):
-        p0_graph.add_edge(a, b)
-    p0_part = fresh_part(
-        p0_graph, _external_boundary(ctx, p0_set), depth=max(len(p0_order) - 1, 0)
-    )
-    merged, merge_stats = unrestricted_path_merge(
-        p0_part,
-        p0_order,
-        parts,
-        metrics,
-        bandwidth=ctx.bandwidth,
-        split_validator=ctx.try_split,
-    )
+        # --- merge: P0 plus the hanging parts. --------------------------------
+        p0_graph = Graph(nodes=p0_order)
+        for a, b in zip(p0_order, p0_order[1:]):
+            p0_graph.add_edge(a, b)
+        p0_part = fresh_part(
+            p0_graph, _external_boundary(ctx, p0_set), depth=max(len(p0_order) - 1, 0)
+        )
+        with maybe_span(
+            tracer, "merge", kind="merge",
+            p0_length=len(p0_order), hanging_parts=len(parts),
+        ) as merge_span:
+            merged, merge_stats = unrestricted_path_merge(
+                p0_part,
+                p0_order,
+                parts,
+                metrics,
+                bandwidth=ctx.bandwidth,
+                split_validator=ctx.try_split,
+            )
+            if merge_span is not None:
+                merge_span.attrs["final_instance_parts"] = merge_stats.final_instance_parts
+                merge_span.attrs["merge_fallbacks"] = merge_stats.merge_fallbacks
+        if call_span is not None:
+            call_span.attrs["splitter"] = splitter
+            call_span.attrs["p0_length"] = len(p0_order)
+            call_span.attrs["hanging_parts"] = len(hanging_roots)
 
     ctx.trace.append(
         CallRecord(

@@ -1,0 +1,18 @@
+"""Observability: hierarchical tracing and machine-readable run reports.
+
+The paper's headline claim is a round bound, so the first-class product
+of a run is *where the rounds went*.  This package provides the
+:class:`Tracer` (spans per recursive call / merge / CONGEST phase,
+events for charges, splitter choices, and bandwidth high-water marks)
+that the rest of the system hooks into:
+
+* ``DistributedPlanarEmbedding(graph, tracer=Tracer())`` — trace a run;
+* ``tracer.write_jsonl(fp)`` — dump the span tree as JSONL;
+* ``repro.analysis.load_trace`` / ``render_trace_tree`` — read it back.
+
+See docs/API.md ("Observability") for the rollup semantics.
+"""
+
+from .tracer import Span, TraceEvent, Tracer, maybe_span
+
+__all__ = ["Tracer", "Span", "TraceEvent", "maybe_span"]

@@ -11,7 +11,6 @@ from repro.congest import (
     RoundMetrics,
     run_program,
 )
-from repro.planar import Graph
 from repro.planar.generators import path_graph
 
 
@@ -83,6 +82,34 @@ class TestEnforcement:
         with pytest.raises(RoundLimitExceededError):
             net.run(programs, max_rounds=10)
 
+    def test_round_limit_diagnosis_is_rich(self):
+        """The error must say which phase, where it stopped, what was in
+        flight, and give example stuck node IDs."""
+
+        class Chatter(NodeProgram):
+            def __init__(self, node_id, neighbors):
+                super().__init__(node_id, neighbors)
+                self.done = False  # never done
+
+            def on_start(self):
+                return {u: 1 for u in self.neighbors}
+
+            def on_round(self, round_no, inbox):
+                return {u: 1 for u in self.neighbors}
+
+        g = path_graph(8)
+        net = CongestNetwork(g)
+        programs = {v: Chatter(v, g.neighbors(v)) for v in g.nodes()}
+        with pytest.raises(RoundLimitExceededError) as exc:
+            net.run(programs, max_rounds=5, phase="flood")
+        msg = str(exc.value)
+        assert "phase=flood" in msg
+        assert "within 5 rounds" in msg
+        assert "stopped at round 6" in msg
+        assert "14 messages in flight" in msg  # 2 per edge, 7 edges
+        assert "8/8 programs not done" in msg
+        assert "e.g. 0, 1, 2, 3, 4, ..." in msg  # 5 examples then ellipsis
+
     def test_programs_must_cover_nodes(self):
         net = CongestNetwork(path_graph(3))
         with pytest.raises(ProtocolViolationError):
@@ -120,3 +147,26 @@ class TestQuiescence:
 
         results = run_program(path_graph(2), CountDown)
         assert all(t >= 3 for t in results.values())
+
+
+class TestObserverHook:
+    def test_observer_sees_every_accounted_round(self):
+        rounds_seen = []
+
+        class Spy:
+            def on_round(self, round_no, messages, words, max_edge_words):
+                rounds_seen.append((round_no, messages, words, max_edge_words))
+
+            def on_charge(self, charge):
+                pass
+
+        m = RoundMetrics(observer=Spy())
+        run_program(path_graph(3), EchoOnce, metrics=m, phase="echo")
+        assert len(rounds_seen) == m.rounds == 1
+        _, messages, words, _ = rounds_seen[0]
+        assert messages == m.messages
+        assert words == m.total_words
+
+    def test_no_observer_means_none_on_network(self):
+        net = CongestNetwork(path_graph(2), metrics=RoundMetrics())
+        assert net.observer is None

@@ -4,7 +4,6 @@ single-shot programs, validating ordering, pipelining, and termination."""
 from typing import Any
 
 from repro.congest import CongestNetwork, NodeProgram, RoundMetrics
-from repro.planar import Graph
 from repro.planar.generators import cycle_graph, grid_graph, path_graph
 
 

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import expand_copies, fresh_part, insert_pendant, insert_two_terminal
-from repro.core.assembly import AssemblyError, is_copy
+from repro.core.assembly import is_copy
 from repro.planar import Graph, RotationSystem
 from repro.planar.generators import cycle_graph, grid_graph, path_graph
 from repro.planar.lr_planarity import planar_embedding

@@ -16,7 +16,6 @@ from hypothesis import strategies as st
 import repro.core.merges as merges_module
 from repro.core import fresh_part, merge_parts
 from repro.core.interface import SkeletonError
-from repro.planar import Graph
 from repro.planar.generators import grid_graph, random_planar
 
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.algorithm import _wrap
 from repro.core.recursion import RecursionContext, embed_subtree
-from repro.planar import verify_planar_embedding
 from repro.planar.generators import grid_graph, path_graph, random_tree
 from repro.primitives import build_bfs_tree, elect_leader
 

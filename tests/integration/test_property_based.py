@@ -4,8 +4,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro import distributed_planar_embedding
-from repro.core import NonPlanarNetworkError
-from repro.planar import Graph, verify_planar_embedding
+from repro.planar import verify_planar_embedding
 from repro.planar.generators import (
     random_maximal_planar,
     random_outerplanar,

@@ -1,0 +1,172 @@
+"""The tracing subsystem: spans, rollups, observer protocol, JSONL export."""
+
+import io
+import json
+
+from repro import distributed_planar_embedding
+from repro.analysis import load_trace
+from repro.congest import CongestNetwork, RoundMetrics
+from repro.obs import Tracer, maybe_span
+from repro.planar.generators import grid_graph
+
+
+def fake_clock():
+    """A deterministic clock: each call advances by one second."""
+    t = iter(range(10_000))
+    return lambda: float(next(t))
+
+
+class TestSpans:
+    def test_nesting_and_parentage(self):
+        tr = Tracer(clock=fake_clock())
+        with tr.span("outer") as outer:
+            with tr.span("inner") as inner:
+                pass
+        assert tr.root is outer
+        assert inner in outer.children
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_wall_clock_from_injected_clock(self):
+        tr = Tracer(clock=fake_clock())
+        with tr.span("s") as sp:
+            pass
+        assert sp.wall_s > 0
+
+    def test_sequential_children_sum(self):
+        tr = Tracer(clock=fake_clock())
+        with tr.span("root") as root:
+            with tr.span("a") as a:
+                a.rounds = 5
+            with tr.span("b") as b:
+                b.rounds = 7
+        assert root.total_rounds() == 12
+
+    def test_parallel_children_take_max(self):
+        tr = Tracer(clock=fake_clock())
+        with tr.span("root") as root:
+            root.rounds = 2
+            with tr.span("call", parallel=True) as a:
+                a.rounds = 5
+            with tr.span("call", parallel=True) as b:
+                b.rounds = 9
+            with tr.span("seq") as c:
+                c.rounds = 1
+        # own 2 + max(5, 9) parallel + 1 sequential
+        assert root.total_rounds() == 12
+
+    def test_traffic_always_sums(self):
+        tr = Tracer(clock=fake_clock())
+        with tr.span("root") as root:
+            with tr.span("call", parallel=True) as a:
+                a.words, a.messages = 10, 3
+            with tr.span("call", parallel=True) as b:
+                b.words, b.messages = 20, 4
+        assert root.total_words() == 30
+        assert root.total_messages() == 7
+
+    def test_events_attach_to_current_span(self):
+        tr = Tracer(clock=fake_clock())
+        with tr.span("s") as sp:
+            tr.event("splitter", root=0, splitter=42)
+        assert sp.events[0].name == "splitter"
+        assert sp.events[0].attrs["splitter"] == 42
+
+    def test_event_without_open_span_is_dropped(self):
+        tr = Tracer(clock=fake_clock())
+        assert tr.event("orphan") is None
+
+
+class TestObserverProtocol:
+    def test_on_round_accumulates(self):
+        tr = Tracer(clock=fake_clock())
+        with tr.span("phase") as sp:
+            tr.on_round(1, messages=4, words=9, max_edge_words=2)
+            tr.on_round(2, messages=1, words=3, max_edge_words=1)
+        assert (sp.rounds, sp.messages, sp.words) == (2, 5, 12)
+        assert sp.max_edge_words == 2
+
+    def test_bandwidth_high_water_event(self):
+        tr = Tracer(clock=fake_clock())
+        with tr.span("phase") as sp:
+            tr.on_round(1, 1, 1, max_edge_words=1)
+            tr.on_round(2, 1, 1, max_edge_words=5)
+            tr.on_round(3, 1, 1, max_edge_words=5)  # no new high-water
+        marks = [e for e in sp.events if e.name == "bandwidth-high-water"]
+        assert [e.attrs["edge_words"] for e in marks] == [1, 5]
+
+    def test_model_charges_add_rounds_real_charges_do_not(self):
+        tr = Tracer(clock=fake_clock())
+        m = RoundMetrics(observer=tr)
+        with tr.span("s") as sp:
+            m.charge("upcast", 6, words=12)  # cost-model: counts
+            m.tag_phase("bfs", 4, words=8)  # real: rounds came via on_round
+        assert sp.rounds == 6
+        assert sp.words == 12
+        kinds = [e.attrs["kind"] for e in sp.events if e.name == "charge"]
+        assert kinds == ["charge", "real"]
+
+
+class TestJsonl:
+    def test_round_trip_preserves_tree_and_rollup(self):
+        tr = Tracer(clock=fake_clock())
+        with tr.span("run", kind="run", n=9) as root:
+            root.rounds = 1
+            with tr.span("call", kind="call", parallel=True) as a:
+                a.rounds = 4
+                tr.event("splitter", splitter=3)
+            with tr.span("call", kind="call", parallel=True) as b:
+                b.rounds = 6
+        buf = io.StringIO()
+        tr.write_jsonl(buf)
+        lines = buf.getvalue().splitlines()
+        header = json.loads(lines[0])
+        assert header["type"] == "trace" and header["spans"] == 3
+        loaded = load_trace(lines)
+        assert loaded.name == "run"
+        assert loaded.attrs == {"n": 9}
+        assert loaded.total_rounds() == tr.root.total_rounds() == 7
+        assert len(loaded.children) == 2
+        assert loaded.children[0].events[0].attrs == {"splitter": 3}
+
+    def test_every_line_is_json(self):
+        tr = Tracer(clock=fake_clock())
+        with tr.span("s"):
+            pass
+        for line in tr.to_jsonl_lines():
+            json.loads(line)
+
+
+class TestMaybeSpan:
+    def test_none_tracer_yields_none(self):
+        with maybe_span(None, "x") as sp:
+            assert sp is None
+
+    def test_real_tracer_yields_span(self):
+        tr = Tracer(clock=fake_clock())
+        with maybe_span(tr, "x", kind="phase") as sp:
+            assert sp is not None and sp.kind == "phase"
+
+
+class TestEndToEnd:
+    def test_traced_grid_rollup_matches_ledger_exactly(self):
+        """Acceptance: on a 16x16 grid the trace's rollup (sequential sum,
+        parallel max) equals the ledger's round count exactly — every round
+        and every word has a span."""
+        tr = Tracer()
+        result = distributed_planar_embedding(grid_graph(16, 16), tracer=tr)
+        root = tr.root
+        assert root is not None and root.kind == "run"
+        assert root.total_rounds() == result.metrics.rounds
+        assert root.total_words() == result.metrics.total_words
+        assert root.total_messages() == result.metrics.messages
+        kinds = {sp.kind for sp in root.walk()}
+        assert {"run", "phase", "call", "merge"} <= kinds
+
+    def test_untraced_run_attaches_no_observer(self):
+        """No tracer => the ledger's observer slot stays None, so the
+        network's per-round loop never executes tracer code."""
+        result = distributed_planar_embedding(grid_graph(4, 4))
+        assert result.metrics.observer is None
+        net = CongestNetwork(grid_graph(2, 2), metrics=result.metrics)
+        assert net.observer is None

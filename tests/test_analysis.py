@@ -1,7 +1,5 @@
 """The analysis helpers used by the benchmark harness."""
 
-import math
-
 import pytest
 
 from repro.analysis import (
@@ -10,8 +8,13 @@ from repro.analysis import (
     format_table,
     geometric_sizes,
     headline_bound,
+    load_trace,
+    render_phase_timeline,
+    render_trace_tree,
     verdict,
 )
+from repro.congest import RoundMetrics
+from repro.obs import Tracer
 
 
 class TestPowerFit:
@@ -78,3 +81,69 @@ class TestTables:
         assert verdict("y", False) is False
         out = capsys.readouterr().out
         assert "REPRODUCED" in out and "NOT REPRODUCED" in out
+
+
+def small_trace():
+    tr = Tracer()
+    m = RoundMetrics(observer=tr)
+    with tr.span("run", kind="run", n=4):
+        with tr.span("bfs", kind="phase"):
+            tr.on_round(1, messages=2, words=4, max_edge_words=2)
+            m.tag_phase("bfs", 1, messages=2, words=4)
+        with tr.span("call", kind="call", parallel=True, root=0, size=3):
+            m.charge("merge", 5, words=9)
+    return tr
+
+
+class TestTraceView:
+    def test_load_trace_from_lines_and_path(self, tmp_path):
+        tr = small_trace()
+        lines = list(tr.to_jsonl_lines())
+        root = load_trace(lines)
+        assert root.name == "run" and len(root.children) == 2
+        f = tmp_path / "t.jsonl"
+        f.write_text("\n".join(lines) + "\n")
+        assert load_trace(str(f)).total_rounds() == root.total_rounds() == 6
+
+    def test_load_trace_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            load_trace(["not json"])
+        with pytest.raises(ValueError):
+            load_trace(['{"type": "trace", "version": 1}'])  # header only
+
+    def test_load_trace_stitches_multiple_roots(self):
+        tr = small_trace()
+        with tr.span("run", kind="run"):  # a second top-level run
+            pass
+        root = load_trace(list(tr.to_jsonl_lines()))
+        assert root.name == "traces" and len(root.children) == 2
+
+    def test_render_tree_shows_rounds_and_structure(self):
+        root = load_trace(list(small_trace().to_jsonl_lines()))
+        out = render_trace_tree(root)
+        lines = out.splitlines()
+        assert lines[0].startswith("run")
+        assert "· 6 rounds" in lines[0]
+        assert any("bfs" in ln and "1 rounds" in ln for ln in lines)
+        assert any("call" in ln and "size=3" in ln for ln in lines)
+
+    def test_render_tree_prunes_with_summary(self):
+        root = load_trace(list(small_trace().to_jsonl_lines()))
+        out = render_trace_tree(root, min_rounds=100)
+        assert "(+2 spans under 100 rounds)" in out
+
+    def test_phase_timeline_from_span_metrics_and_mapping(self):
+        root = load_trace(list(small_trace().to_jsonl_lines()))
+        from_span = render_phase_timeline(root)
+        assert "merge" in from_span and "#" in from_span
+        m = RoundMetrics()
+        m.charge("merge", 5)
+        m.tag_phase("bfs", 1)
+        from_metrics = render_phase_timeline(m)
+        assert from_metrics.splitlines()[0].startswith("merge")  # sorted desc
+        assert render_phase_timeline({"a": 3}).startswith("a")
+        with pytest.raises(TypeError):
+            render_phase_timeline(42)
+
+    def test_phase_timeline_empty(self):
+        assert render_phase_timeline({}) == "(no phase data)"

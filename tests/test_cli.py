@@ -1,8 +1,13 @@
 """The `python -m repro` command-line interface."""
 
+import json
+
 import pytest
 
+from repro import distributed_planar_embedding
 from repro.__main__ import load_edgelist, main
+from repro.analysis import load_trace
+from repro.planar.generators import grid_graph
 
 
 def test_demo_grid(capsys):
@@ -69,3 +74,68 @@ def test_unknown_demo_family():
 def test_bandwidth_flag(capsys):
     code = main(["--demo", "grid", "4", "4", "--bandwidth", "8", "--quiet"])
     assert code == 0
+
+
+class TestTracing:
+    def test_trace_stdout_is_valid_jsonl_matching_result(self, capsys):
+        """Satellite: `--demo grid 6 6 --trace -` emits valid JSONL whose
+        root span's round total equals the run's EmbeddingResult.rounds."""
+        code = main(["--demo", "grid", "6", "6", "--trace", "-"])
+        captured = capsys.readouterr()
+        assert code == 0
+        lines = captured.out.splitlines()
+        header = json.loads(lines[0])
+        assert header["type"] == "trace"
+        assert all(json.loads(ln) for ln in lines[1:])  # every line parses
+        root = load_trace(lines)
+        expected = distributed_planar_embedding(grid_graph(6, 6))
+        assert root.total_rounds() == expected.rounds
+        # human-facing report moved to stderr, stdout is machine-clean
+        assert "planar embedding in" in captured.err
+
+    def test_trace_to_file(self, tmp_path, capsys):
+        f = tmp_path / "run.jsonl"
+        code = main(["--demo", "cycle", "8", "--trace", str(f), "--quiet"])
+        assert code == 0
+        root = load_trace(str(f))
+        assert root.kind == "run"
+        assert root.total_rounds() > 0
+
+    def test_json_report(self, capsys):
+        code = main(["--demo", "grid", "4", "4", "--json"])
+        captured = capsys.readouterr()
+        assert code == 0
+        report = json.loads(captured.out)
+        assert report["planar"] is True
+        assert report["n"] == 16
+        assert report["rounds"] == report["metrics"]["rounds"] > 0
+        assert "wall_s" in report
+
+    def test_json_report_nonplanar(self, tmp_path, capsys):
+        f = tmp_path / "k5.txt"
+        f.write_text(
+            "\n".join(f"{i} {j}" for i in range(5) for j in range(i + 1, 5))
+        )
+        code = main([str(f), "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert report["planar"] is False
+        assert report["witness"]["kind"] == "K5"
+        assert report["witness"]["nodes"] == 5
+
+    def test_view_trace(self, tmp_path, capsys):
+        f = tmp_path / "run.jsonl"
+        main(["--demo", "grid", "4", "4", "--trace", str(f), "--quiet"])
+        capsys.readouterr()
+        code = main(["--view-trace", str(f)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "run" in out and "rounds" in out
+
+    def test_json_with_trace_stdout_conflict(self):
+        with pytest.raises(SystemExit):
+            main(["--demo", "grid", "4", "4", "--json", "--trace", "-"])
+
+    def test_trace_with_baseline_conflict(self):
+        with pytest.raises(SystemExit):
+            main(["--demo", "grid", "4", "4", "--baseline", "--trace", "-"])

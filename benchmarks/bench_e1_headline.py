@@ -9,11 +9,16 @@ linear growth of the trivial algorithm.
 """
 
 import math
+import os
 import time
 
 from repro import distributed_planar_embedding
 from repro.analysis import bound_ratios, fit_power_law, print_table, verdict
 from repro.planar.generators import grid_graph, random_maximal_planar, triangulated_grid
+
+# REPRO_BENCH_SMOKE=1: one small size, no shape assertions (CI smoke job).
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+SIZES = (8,) if SMOKE else (8, 12, 17, 24, 34)
 
 
 def run_experiment(report=None):
@@ -25,7 +30,7 @@ def run_experiment(report=None):
         ("maximal", lambda k: random_maximal_planar(k * k, seed=k)),
     ]:
         ns, ds, rounds = [], [], []
-        for k in (8, 12, 17, 24, 34):
+        for k in SIZES:
             g = make(k)
             t0 = time.perf_counter()
             result = distributed_planar_embedding(g)
@@ -51,6 +56,8 @@ def run_experiment(report=None):
 
 def test_e1_headline(run_once, bench_report):
     series = run_once(run_experiment, bench_report)
+    if SMOKE:
+        return  # one datapoint: reporter exercised, no shape to fit
     ok = True
     for name, (ns, ds, rounds) in series.items():
         ratios = bound_ratios(rounds, ns, ds)

@@ -19,9 +19,12 @@ Packages:
   systems, LR planarity kernel, biconnectivity, generators, verifier);
 * ``repro.core``       — the paper's algorithm (parts, interfaces,
   merges, symmetry breaking, recursion, baseline);
+* ``repro.certify``    — distributed certification: O(log n)-bit proof
+  labels, a CONGEST verifier, and an adversarial tamper harness;
 * ``repro.analysis``   — scaling fits and table helpers for benchmarks.
 """
 
+from .certify import build_certificates, run_tamper_suite, verify_distributed
 from .core import (
     DistributedPlanarEmbedding,
     EmbeddingResult,
@@ -44,5 +47,8 @@ __all__ = [
     "Graph",
     "RotationSystem",
     "verify_planar_embedding",
+    "build_certificates",
+    "verify_distributed",
+    "run_tamper_suite",
     "__version__",
 ]

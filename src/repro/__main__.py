@@ -18,6 +18,16 @@ Observability: ``--trace FILE`` writes a JSONL span trace of the run
 stdout, and ``--view-trace FILE`` renders a previously captured trace
 as an ASCII recursion tree + phase timeline.  Whenever stdout carries
 machine output, the human-readable report moves to stderr.
+
+Certification: ``--certify`` appends the :mod:`repro.certify` phases —
+every node gets an O(log n)-bit proof label and a distributed CONGEST
+verifier re-checks the output in O(D) rounds; ``--certify-adversary``
+additionally runs the tamper suite and demands 100% detection.
+
+Exit codes: 0 = success; 1 = input not planar (a Kuratowski witness is
+printed); 2 = usage error; 3 = verification or certification rejected
+the computed embedding (or a tamper went undetected) — an algorithm
+bug, never the input's fault.
 """
 
 from __future__ import annotations
@@ -32,6 +42,7 @@ from .core import NonPlanarNetworkError, DistributedPlanarEmbedding, trivial_bas
 from .obs import Tracer
 from .planar import Graph
 from .planar.kuratowski import classify_kuratowski, kuratowski_subgraph
+from .planar.verify import EmbeddingViolation
 
 
 def load_edgelist(path: str) -> Graph:
@@ -49,7 +60,11 @@ def load_edgelist(path: str) -> Graph:
     return graph
 
 
-def demo_graph(args: list[str]) -> Graph:
+#: Demo families whose generator takes a ``seed`` (threaded from --seed).
+SEEDED_FAMILIES = frozenset({"maximal", "outerplanar", "tree"})
+
+
+def demo_graph(args: list[str], seed: int = 0) -> Graph:
     from .planar import generators
 
     if not args:
@@ -61,11 +76,14 @@ def demo_graph(args: list[str]) -> Graph:
         "cycle": generators.cycle_graph,
         "path": generators.path_graph,
         "maximal": generators.random_maximal_planar,
+        "outerplanar": generators.random_outerplanar,
+        "tree": generators.random_tree,
         "k4sub": generators.k4_subdivision,
     }
     if name not in factories:
         raise SystemExit(f"unknown demo family {name!r}; options: {sorted(factories)}")
-    return factories[name](*(int(p) for p in params))
+    kwargs = {"seed": seed} if name in SEEDED_FAMILIES else {}
+    return factories[name](*(int(p) for p in params), **kwargs)
 
 
 def view_trace(path: str) -> int:
@@ -90,8 +108,19 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("edgelist", nargs="?", help="edge-list file (u v per line)")
     parser.add_argument("--demo", nargs="+", metavar="FAMILY",
                         help="generate a demo graph instead (e.g. --demo grid 8 8)")
+    parser.add_argument("--seed", type=int, default=0, metavar="S",
+                        help="seed for randomized --demo families and the "
+                             "--certify-adversary tamper sweep (default 0)")
     parser.add_argument("--baseline", action="store_true",
                         help="run the trivial O(n) baseline instead")
+    parser.add_argument("--certify", action="store_true",
+                        help="equip nodes with proof labels and re-verify the "
+                             "embedding with the distributed O(D) verifier")
+    parser.add_argument("--certify-adversary", action="store_true",
+                        dest="certify_adversary",
+                        help="also run the certificate tamper suite "
+                             "(implies --certify); exits 3 unless every "
+                             "tamper is detected")
     parser.add_argument("--bandwidth", type=int, default=1, metavar="W",
                         help="CONGEST words per edge per round (default 1)")
     parser.add_argument("--quiet", action="store_true",
@@ -120,8 +149,11 @@ def main(argv: list[str] | None = None) -> int:
     machine_stdout = args.json or args.trace == "-"
     say = functools.partial(print, file=sys.stderr) if machine_stdout else print
 
-    graph = demo_graph(args.demo) if args.demo else load_edgelist(args.edgelist)
+    graph = (
+        demo_graph(args.demo, seed=args.seed) if args.demo else load_edgelist(args.edgelist)
+    )
     say(f"network: n={graph.num_nodes}, m={graph.num_edges}")
+    certify = args.certify or args.certify_adversary
 
     tracer = Tracer() if args.trace is not None else None
     # Open the trace sink before the (possibly long) run so a bad path
@@ -139,12 +171,29 @@ def main(argv: list[str] | None = None) -> int:
         if args.baseline:
             result = trivial_baseline_embedding(graph, bandwidth_words=args.bandwidth)
             say("algorithm: trivial gather-everything baseline (footnote 2)")
+            if certify:
+                result.verify_distributed()
         else:
             driver = DistributedPlanarEmbedding(
-                graph, bandwidth_words=args.bandwidth, tracer=tracer
+                graph, bandwidth_words=args.bandwidth, tracer=tracer, certify=certify
             )
             result = driver.run()
             say("algorithm: Theorem 1.1 distributed planar embedding")
+    except EmbeddingViolation as exc:
+        # The computed output failed the centralized referee: an
+        # algorithm bug, distinct from non-planar *input* (exit 1).
+        _dump_trace(tracer, trace_sink)
+        say(f"result: EMBEDDING REJECTED — {exc}")
+        if args.json:
+            print(json.dumps({
+                "type": "run-report",
+                "planar": None,
+                "accepted": False,
+                "n": graph.num_nodes,
+                "m": graph.num_edges,
+                "error": str(exc),
+            }))
+        return 3
     except NonPlanarNetworkError:
         wall_s = time.perf_counter() - t0
         _dump_trace(tracer, trace_sink)
@@ -177,6 +226,26 @@ def main(argv: list[str] | None = None) -> int:
     say(f"result: planar embedding in {result.rounds} CONGEST rounds")
     if result.trace:
         say(f"recursion depth: {result.recursion_depth}")
+
+    exit_code = 0
+    suite = None
+    if certify:
+        say(f"certification: {result.certification.summary()}")
+        if not result.certification.accepted:
+            exit_code = 3
+        if args.certify_adversary:
+            if graph.num_nodes < 2:
+                say("tamper suite: skipped (needs at least one edge)")
+            else:
+                from .certify import run_tamper_suite
+
+                suite = run_tamper_suite(
+                    graph, result.rotation, result.certificates, seed=args.seed
+                )
+                say(suite.summary())
+                if not suite.all_detected:
+                    exit_code = 3
+
     if not args.quiet:
         say("clockwise edge orders:")
         for v in sorted(result.rotation, key=repr):
@@ -196,8 +265,10 @@ def main(argv: list[str] | None = None) -> int:
         }
         report["wall_s"] = round(wall_s, 6)
         report["algorithm"] = "baseline" if args.baseline else "theorem-1.1"
+        if suite is not None:
+            report["tamper_suite"] = suite.to_dict()
         print(json.dumps(report, default=repr))
-    return 0
+    return exit_code
 
 
 def _dump_trace(tracer: Tracer | None, sink) -> None:

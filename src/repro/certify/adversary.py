@@ -1,0 +1,269 @@
+"""Adversarial tamper harness: mechanical soundness checks.
+
+Each tamper class takes an honest ``(rotation, certificates)`` pair and
+produces a corrupted copy that a cheating prover might plausibly submit
+— locally self-consistent wherever the adversary can afford it.  The
+suite then runs the real distributed verifier and asserts that **every
+tamper is rejected by at least one node**, reporting the detecting node
+and the violated predicate.  The classes are chosen to stress different
+parts of the soundness argument:
+
+``bit-flip``
+    one random bit of one random counter field in one node's label —
+    the self-anchored subtree sums and cross-edge consistency checks
+    leave no slack for even a single-bit perturbation;
+``rotation-swap``
+    two adjacent neighbors transposed in one node's clockwise order
+    (at a node of degree >= 3, where a transposition genuinely changes
+    the cyclic order; on degree-<=2 networks the fallback corrupts the
+    ring into a non-permutation) — honest face labels then contradict
+    the face-tracing successor rule;
+``face-forgery``
+    a node crowns one of its darts leader of a fresh face and bumps its
+    own leader/subtree tallies so *its* counts add up — the succession
+    predicate or an ancestor's subtree sum still catches it;
+``collusion``
+    an adjacent pair agree on an inflated global face count — any
+    honest node bordering the pair sees the disagreement, and on a
+    two-node network the root's own totals give it away;
+``global-forgery``
+    *every* node announces the same inflated face count — perfectly
+    consistent across all edges, so only the root's anchored totals and
+    Euler check stand between the forger and a wrong genus.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Sequence
+
+from ..planar.graph import Graph, NodeId
+from .labels import CertificateSet
+from .verifier import VERIFIER_BANDWIDTH_WORDS, Rejection, verify_distributed
+
+__all__ = [
+    "TamperOutcome",
+    "TamperSuiteReport",
+    "TAMPER_CLASSES",
+    "run_tamper_suite",
+]
+
+RotationMap = dict[NodeId, tuple[NodeId, ...]]
+
+
+@dataclass
+class TamperOutcome:
+    """One tampered instance and the verifier's reaction to it."""
+
+    tamper_class: str
+    description: str
+    detected: bool
+    rejections: list[Rejection] = field(default_factory=list)
+
+    @property
+    def detecting_node(self) -> NodeId | None:
+        return self.rejections[0].node if self.rejections else None
+
+    @property
+    def violated_predicate(self) -> str | None:
+        return self.rejections[0].predicate if self.rejections else None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "class": self.tamper_class,
+            "description": self.description,
+            "detected": self.detected,
+            "detecting_node": repr(self.detecting_node),
+            "violated_predicate": self.violated_predicate,
+            "rejections": [r.to_dict() for r in self.rejections[:5]],
+        }
+
+
+@dataclass
+class TamperSuiteReport:
+    """Soundness sweep outcome: all tampers must be detected."""
+
+    outcomes: list[TamperOutcome]
+    nodes: int
+
+    @property
+    def all_detected(self) -> bool:
+        return bool(self.outcomes) and all(o.detected for o in self.outcomes)
+
+    @property
+    def missed(self) -> list[TamperOutcome]:
+        return [o for o in self.outcomes if not o.detected]
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "nodes": self.nodes,
+            "tampers": len(self.outcomes),
+            "detected": sum(o.detected for o in self.outcomes),
+            "all_detected": self.all_detected,
+            "outcomes": [o.to_dict() for o in self.outcomes],
+        }
+
+    def summary(self) -> str:
+        total = len(self.outcomes)
+        hit = sum(o.detected for o in self.outcomes)
+        lines = [f"tamper suite: {hit}/{total} detected on n={self.nodes}"]
+        for o in self.outcomes:
+            verdict = (
+                f"rejected by node {o.detecting_node!r} ({o.violated_predicate})"
+                if o.detected
+                else "MISSED — soundness breach"
+            )
+            lines.append(f"  {o.tamper_class:14s} {o.description}: {verdict}")
+        return "\n".join(lines)
+
+
+# -- tamper classes ---------------------------------------------------------
+# Each takes (rng, graph, rotation, certificates) where rotation and
+# certificates are private copies, mutates them, and returns a one-line
+# description of what it corrupted.
+
+_COUNTER_FIELDS = (
+    "depth",
+    "n",
+    "m",
+    "f",
+    "subtree_vertices",
+    "subtree_degree",
+    "subtree_faces",
+)
+
+
+def _tamper_bit_flip(
+    rng: random.Random, graph: Graph, rotation: RotationMap, certs: CertificateSet
+) -> str:
+    victim = rng.choice(sorted(certs, key=repr))
+    fname = rng.choice(_COUNTER_FIELDS)
+    label = certs[victim]
+    old = getattr(label, fname)
+    bit = rng.randrange(max(1, old.bit_length() + 1))
+    setattr(label, fname, old ^ (1 << bit))
+    return f"flipped bit {bit} of {fname} at node {victim!r} ({old} -> {old ^ (1 << bit)})"
+
+
+def _tamper_rotation_swap(
+    rng: random.Random, graph: Graph, rotation: RotationMap, certs: CertificateSet
+) -> str:
+    # A transposition only changes the cyclic order at degree >= 3; on
+    # degree-<=2 networks fall back to breaking the permutation property.
+    candidates = sorted((v for v in rotation if len(rotation[v]) >= 3), key=repr)
+    if candidates:
+        victim = rng.choice(candidates)
+        ring = list(rotation[victim])
+        i = rng.randrange(len(ring))
+        j = (i + 1) % len(ring)
+        ring[i], ring[j] = ring[j], ring[i]
+        rotation[victim] = tuple(ring)
+        return (
+            f"swapped neighbors {ring[j]!r} and {ring[i]!r} "
+            f"in the rotation of node {victim!r}"
+        )
+    victim = rng.choice(sorted((v for v in rotation if rotation[v]), key=repr))
+    ring = list(rotation[victim])
+    if len(ring) == 1:
+        # Replace the lone neighbor with the node itself: not a neighbor.
+        replaced = ring[0]
+        ring[0] = victim
+    else:
+        i = rng.randrange(len(ring))
+        replaced = ring[i]
+        ring[i] = ring[(i + 1) % len(ring)]  # duplicate entry
+    rotation[victim] = tuple(ring)
+    return f"replaced {replaced!r} in the rotation of node {victim!r} (non-permutation)"
+
+
+def _tamper_face_forgery(
+    rng: random.Random, graph: Graph, rotation: RotationMap, certs: CertificateSet
+) -> str:
+    # Crown a non-leader dart leader of a new face and fix up the forger's
+    # own tallies so all *its* counting checks pass.
+    options = [
+        (v, w)
+        for v in sorted(certs, key=repr)
+        for w, dart in sorted(certs[v].darts.items(), key=lambda kv: repr(kv[0]))
+        if dart.face != (v, w)
+    ]
+    v, w = rng.choice(options)
+    label = certs[v]
+    dart = label.darts[w]
+    dart.face = (v, w)
+    dart.index = 0
+    label.face_leaders += 1
+    label.subtree_faces += 1
+    return f"node {v!r} forged dart {(v, w)!r} into a face leader (+1 face)"
+
+
+def _tamper_collusion(
+    rng: random.Random, graph: Graph, rotation: RotationMap, certs: CertificateSet
+) -> str:
+    u, v = rng.choice(sorted(graph.edges(), key=repr))
+    certs[u].f += 1
+    certs[v].f += 1
+    return f"colluding pair {u!r}, {v!r} both announce f+1 faces"
+
+
+def _tamper_global_forgery(
+    rng: random.Random, graph: Graph, rotation: RotationMap, certs: CertificateSet
+) -> str:
+    delta = rng.choice((1, 2))
+    for v in certs:
+        certs[v].f += delta
+    return f"all {len(certs)} nodes announce f+{delta} faces (globally consistent)"
+
+
+TAMPER_CLASSES: dict[str, Callable[..., str]] = {
+    "bit-flip": _tamper_bit_flip,
+    "rotation-swap": _tamper_rotation_swap,
+    "face-forgery": _tamper_face_forgery,
+    "collusion": _tamper_collusion,
+    "global-forgery": _tamper_global_forgery,
+}
+
+
+def run_tamper_suite(
+    graph: Graph,
+    rotation: Mapping[NodeId, Sequence[NodeId]],
+    certificates: CertificateSet,
+    seed: int = 0,
+    trials: int = 3,
+    classes: Sequence[str] | None = None,
+    bandwidth_words: int = VERIFIER_BANDWIDTH_WORDS,
+) -> TamperSuiteReport:
+    """Run every tamper class ``trials`` times against the real verifier.
+
+    Each trial gets private copies of the rotation and certificates, so
+    the honest originals survive.  Soundness holds iff
+    ``report.all_detected``; a missed tamper is a bug, and callers
+    (the CLI, E14, the test suite) treat it as a hard failure.
+    """
+    if graph.num_nodes < 2:
+        raise ValueError("tamper suite needs at least one edge to corrupt")
+    names = list(classes) if classes is not None else list(TAMPER_CLASSES)
+    unknown = [c for c in names if c not in TAMPER_CLASSES]
+    if unknown:
+        raise ValueError(f"unknown tamper classes {unknown!r}; options: {sorted(TAMPER_CLASSES)}")
+    rng = random.Random(seed)
+    outcomes: list[TamperOutcome] = []
+    for name in names:
+        tamper = TAMPER_CLASSES[name]
+        for _ in range(trials):
+            rot_copy: RotationMap = {v: tuple(rotation[v]) for v in rotation}
+            certs_copy = certificates.copy()
+            description = tamper(rng, graph, rot_copy, certs_copy)
+            report = verify_distributed(
+                graph, rot_copy, certs_copy, bandwidth_words=bandwidth_words
+            )
+            outcomes.append(
+                TamperOutcome(
+                    tamper_class=name,
+                    description=description,
+                    detected=not report.accepted,
+                    rejections=report.rejections,
+                )
+            )
+    return TamperSuiteReport(outcomes=outcomes, nodes=graph.num_nodes)

@@ -1,0 +1,132 @@
+"""Certificate construction: the prover half of the labeling scheme.
+
+After the embedding algorithm terminates, every node holds its clockwise
+edge order.  The construction phase turns that scattered output into a
+*self-verifying* one:
+
+1. a certificate spanning tree is built by real message passing —
+   max-ID leader election followed by BFS, O(D) rounds, both accounted
+   in the metrics ledger under ``certify:*`` phases;
+2. the prover assigns every dart its face label (leader identity, face
+   length, index in the walk).  Face walks are a function of the very
+   rotation system being certified, so this step is the omniscient-prover
+   part of the proof-labeling model: it costs no rounds, and nothing in
+   it is trusted — the verifier re-derives every claim locally;
+3. the subtree tallies ``(vertices, degree, face leaders)`` convergecast
+   up the tree (O(depth) rounds, real messages), and the root broadcasts
+   the resulting global totals ``(n, 2m, f)`` back down.
+
+The result is a :class:`~repro.certify.labels.CertificateSet` mapping
+each node to its :class:`~repro.certify.labels.NodeCertificate`.
+"""
+
+from __future__ import annotations
+
+from ..congest.metrics import RoundMetrics
+from ..obs import Tracer, maybe_span
+from ..planar.graph import Graph, NodeId
+from ..planar.rotation import RotationSystem, trace_faces
+from ..primitives.aggregation import tree_aggregate, tree_broadcast
+from ..primitives.bfs import build_bfs_tree
+from ..primitives.leader import elect_leader
+from .labels import CertificateSet, DartLabel, NodeCertificate
+
+__all__ = ["build_certificates", "face_labels"]
+
+
+def face_labels(
+    rotation: RotationSystem,
+) -> tuple[dict[tuple, DartLabel], dict[NodeId, int]]:
+    """Label every dart with (leader dart, face length, index).
+
+    The leader of a face walk is its repr-smallest dart; indices count
+    positions along the walk starting from the leader.  Also returns the
+    per-node count of leader darts, whose sum over all nodes is the face
+    count ``F`` entering the Euler check.
+    """
+    labels: dict[tuple, DartLabel] = {}
+    leaders: dict[NodeId, int] = {v: 0 for v in rotation.graph.nodes()}
+    for walk in trace_faces(rotation):
+        lead_pos = min(range(len(walk)), key=lambda i: repr(walk[i]))
+        leader = walk[lead_pos]
+        for pos, dart in enumerate(walk):
+            labels[dart] = DartLabel(
+                face=leader, length=len(walk), index=(pos - lead_pos) % len(walk)
+            )
+        leaders[leader[0]] += 1
+    return labels, leaders
+
+
+def build_certificates(
+    graph: Graph,
+    rotation: RotationSystem,
+    metrics: RoundMetrics | None = None,
+    tracer: Tracer | None = None,
+) -> CertificateSet:
+    """Equip every node with its proof label (see module docstring).
+
+    ``graph`` must be connected (the embedding pipeline guarantees it).
+    Real rounds — election, BFS, convergecast, broadcast — land in
+    ``metrics`` under ``certify:*`` phases and on the current trace span.
+    """
+    ledger = metrics if metrics is not None else RoundMetrics()
+    with maybe_span(tracer, "certify-prove", kind="phase", n=graph.num_nodes):
+        if graph.num_nodes == 1:
+            (v,) = graph.nodes()
+            # A single node is the whole sphere: one face, no darts.
+            label = NodeCertificate(
+                node=v, root=v, parent=None, depth=0, n=1, m=0, f=1,
+                subtree_vertices=1, subtree_degree=0, subtree_faces=1,
+                face_leaders=1,
+            )
+            return CertificateSet({v: label})
+
+        leader = elect_leader(graph, metrics=ledger, phase="certify:leader")
+        tree = build_bfs_tree(graph, leader, metrics=ledger, phase="certify:bfs")
+        dart_labels, leaders = face_labels(rotation)
+
+        # Convergecast (vertices, degree, face leaders); every node keeps
+        # its own subtree triple, the root's is the global total.
+        values = {
+            v: (1, graph.degree(v), leaders[v]) for v in graph.nodes()
+        }
+        combined = tree_aggregate(
+            graph,
+            tree.parent,
+            tree.children,
+            values,
+            lambda items: tuple(sum(col) for col in zip(*items)),
+            metrics=ledger,
+            phase="certify:tally",
+        )
+        n_total, degree_total, f_total = combined[leader][0]
+        totals = tree_broadcast(
+            graph,
+            tree.parent,
+            tree.children,
+            (n_total, degree_total // 2, f_total),
+            metrics=ledger,
+            phase="certify:announce",
+        )
+
+        labels: dict[NodeId, NodeCertificate] = {}
+        for v in graph.nodes():
+            sv, sd, sf = combined[v][0]
+            n, m, f = totals[v]
+            labels[v] = NodeCertificate(
+                node=v,
+                root=leader,
+                parent=tree.parent[v],
+                depth=tree.depth_of[v],
+                n=n,
+                m=m,
+                f=f,
+                subtree_vertices=sv,
+                subtree_degree=sd,
+                subtree_faces=sf,
+                face_leaders=leaders[v],
+                darts={
+                    w: dart_labels[(v, w)] for w in rotation.order(v)
+                },
+            )
+        return CertificateSet(labels)

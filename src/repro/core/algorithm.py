@@ -24,6 +24,7 @@ planarity test.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..congest.metrics import RoundMetrics
 from ..obs import Tracer, maybe_span
@@ -36,6 +37,9 @@ from ..primitives.leader import elect_leader
 from .assembly import expand_copies
 from .parts import NonPlanarNetworkError
 from .recursion import CallRecord, RecursionContext, embed_subtree
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from ..certify import CertificateSet, CertificationReport
 
 __all__ = ["EmbeddingResult", "DistributedPlanarEmbedding", "distributed_planar_embedding"]
 
@@ -53,6 +57,8 @@ class EmbeddingResult:
     bfs_depth: int = 0
     known_n: int = 0  # what every node learned in the Section 2 preamble
     diameter_upper: int = 0  # the 2-approximation of D (2 * ecc(s*))
+    certificates: "CertificateSet | None" = None  # proof labels, if certified
+    certification: "CertificationReport | None" = None  # last verifier outcome
 
     @property
     def rounds(self) -> int:
@@ -68,12 +74,47 @@ class EmbeddingResult:
             r.merge_stats.merge_fallbacks for r in self.trace if r.merge_stats is not None
         )
 
+    def verify_distributed(
+        self,
+        metrics: RoundMetrics | None = None,
+        tracer: Tracer | None = None,
+        bandwidth_words: int | None = None,
+    ) -> "CertificationReport":
+        """Certify this embedding and verify it distributedly (O(D) rounds).
+
+        Builds the proof labels on first use (a real O(D) construction:
+        election, BFS, convergecast) and runs the CONGEST verifier.  All
+        rounds land in ``metrics`` — by default this result's own ledger,
+        so ``result.rounds`` then covers embedding *and* certification.
+        Stores and returns the :class:`~repro.certify.CertificationReport`.
+        """
+        from ..certify import build_certificates
+        from ..certify import verify_distributed as _verify_distributed
+        from ..certify.verifier import VERIFIER_BANDWIDTH_WORDS
+
+        ledger = metrics if metrics is not None else self.metrics
+        if self.certificates is None:
+            self.certificates = build_certificates(
+                self.graph, self.rotation_system, metrics=ledger, tracer=tracer
+            )
+        self.certification = _verify_distributed(
+            self.graph,
+            self.rotation,
+            self.certificates,
+            metrics=ledger,
+            tracer=tracer,
+            bandwidth_words=(
+                bandwidth_words if bandwidth_words is not None else VERIFIER_BANDWIDTH_WORDS
+            ),
+        )
+        return self.certification
+
     def to_report(self) -> dict:
         """A machine-readable run report (JSON-ready): sizes, round
         totals, and the full per-phase ledger.  This is what
         ``python -m repro --json`` prints and what the benchmark
         reporter persists into ``BENCH_*.json``."""
-        return {
+        report = {
             "type": "run-report",
             "planar": True,
             "n": self.graph.num_nodes,
@@ -87,6 +128,11 @@ class EmbeddingResult:
             "leader": repr(self.leader),
             "metrics": self.metrics.to_dict(),
         }
+        if self.certification is not None:
+            report["certification"] = self.certification.to_dict()
+        if self.certificates is not None:
+            report["certificates"] = self.certificates.to_dict()
+        return report
 
 
 def _wrap(graph: Graph) -> Graph:
@@ -108,6 +154,7 @@ class DistributedPlanarEmbedding:
         verify: bool = True,
         splitter_strategy: str = "balanced",
         tracer: Tracer | None = None,
+        certify: bool = False,
     ) -> None:
         """``bandwidth_words`` is the per-edge word budget used in the
         pipelined round charges (CONGEST's ``O(log n)`` bits = O(1)
@@ -116,7 +163,11 @@ class DistributedPlanarEmbedding:
         naive root split ("root") used by the E12 ablation.  ``tracer``
         (a :class:`repro.obs.Tracer`) records a span tree — per phase,
         per recursive call, per merge — for the run; ``None`` (the
-        default) leaves the pipeline entirely uninstrumented."""
+        default) leaves the pipeline entirely uninstrumented.
+        ``certify`` appends the certification phases (see
+        :mod:`repro.certify`): every node gets an O(log n)-bit proof
+        label and the distributed verifier re-checks the output in O(D)
+        rounds, all charged to the same ledger and trace."""
         if graph.num_nodes == 0:
             raise ValueError("cannot embed an empty network")
         if not graph.is_connected():
@@ -126,6 +177,7 @@ class DistributedPlanarEmbedding:
         self.verify = verify
         self.splitter_strategy = splitter_strategy
         self.tracer = tracer
+        self.certify = certify
         self.last_metrics: RoundMetrics | None = None  # set by run(), kept on failure
 
     def run(self) -> EmbeddingResult:
@@ -144,6 +196,10 @@ class DistributedPlanarEmbedding:
             tracer, "run", kind="run", n=graph.num_nodes, m=graph.num_edges
         ):
             result = self._run_traced(graph, metrics, tracer)
+            if self.certify:
+                # Certification rides inside the run span so the trace
+                # rollup keeps matching metrics.rounds exactly.
+                result.verify_distributed(metrics=metrics, tracer=tracer)
         return result
 
     def _run_traced(
@@ -251,10 +307,12 @@ def distributed_planar_embedding(
     bandwidth_words: int = 1,
     verify: bool = True,
     tracer: Tracer | None = None,
+    certify: bool = False,
 ) -> EmbeddingResult:
     """Convenience wrapper around :class:`DistributedPlanarEmbedding`."""
     return DistributedPlanarEmbedding(
-        graph, bandwidth_words=bandwidth_words, verify=verify, tracer=tracer
+        graph, bandwidth_words=bandwidth_words, verify=verify, tracer=tracer,
+        certify=certify,
     ).run()
 
 

@@ -104,12 +104,12 @@ class BfsProgram(NodeProgram):
 
 
 def build_bfs_tree(
-    graph: Graph, root: NodeId, metrics: RoundMetrics | None = None
+    graph: Graph, root: NodeId, metrics: RoundMetrics | None = None, phase: str = "bfs"
 ) -> BfsTree:
     """Run distributed BFS from ``root``; O(D) real rounds."""
     network = CongestNetwork(graph, metrics=metrics)
     programs = {v: BfsProgram(v, graph.neighbors(v), root) for v in graph.nodes()}
-    results = network.run(programs, phase="bfs")
+    results = network.run(programs, phase=phase)
     parent: dict[NodeId, NodeId | None] = {}
     children: dict[NodeId, list[NodeId]] = {}
     depth_of: dict[NodeId, int] = {}

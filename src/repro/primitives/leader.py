@@ -45,10 +45,12 @@ class MaxIdFloodProgram(NodeProgram):
         return self.best
 
 
-def elect_leader(graph: Graph, metrics: RoundMetrics | None = None) -> NodeId:
+def elect_leader(
+    graph: Graph, metrics: RoundMetrics | None = None, phase: str = "leader-election"
+) -> NodeId:
     """Elect the max-ID node of a connected graph; O(D) real rounds."""
     if graph.num_nodes == 0:
         raise ValueError("cannot elect a leader of an empty graph")
-    results = run_program(graph, MaxIdFloodProgram, metrics=metrics, phase="leader-election")
+    results = run_program(graph, MaxIdFloodProgram, metrics=metrics, phase=phase)
     (leader,) = set(results.values())
     return leader

@@ -50,6 +50,51 @@ def test_swapped_rotation_on_k4_subdivided_detected():
         verify_planar_embedding(g, broken)
 
 
+def test_rejects_missing_vertex():
+    # A rotation that forgets a vertex entirely is not an embedding.
+    g = cycle_graph(4)
+    rot = planar_embedding(g).as_dict()
+    del rot[2]
+    with pytest.raises(EmbeddingViolation):
+        verify_rotation_system(g, rot)
+
+
+def test_rejects_non_neighbor_in_ring():
+    g = grid_graph(3, 3)
+    rot = planar_embedding(g).as_dict()
+    # Node 0's neighbors are 1 and 3; node 8 is across the grid.
+    rot[0] = (1, 8)
+    with pytest.raises(EmbeddingViolation):
+        verify_rotation_system(g, rot)
+
+
+def test_rejects_duplicate_neighbor_in_ring():
+    g = grid_graph(3, 3)
+    rot = planar_embedding(g).as_dict()
+    rot[4] = (1, 1, 5, 7)
+    with pytest.raises(EmbeddingViolation):
+        verify_rotation_system(g, rot)
+
+
+def test_rejects_extra_vertex_key():
+    g = cycle_graph(4)
+    rot = planar_embedding(g).as_dict()
+    rot[99] = (0, 1)
+    with pytest.raises(EmbeddingViolation):
+        verify_rotation_system(g, rot)
+
+
+def test_rejects_positive_genus_deterministically():
+    # Sorted neighbor orders embed K4 on the torus (genus 1), whatever
+    # order vertex 0 uses: a well-formed but non-planar rotation system.
+    g = complete_graph(4)
+    bad = {v: tuple(sorted(g.neighbors(v))) for v in g.nodes()}
+    rot = verify_rotation_system(g, bad)  # well-formed...
+    assert rot.genus() == 1
+    with pytest.raises(EmbeddingViolation):  # ...but not planar
+        verify_planar_embedding(g, bad)
+
+
 def test_boundary_check():
     g = grid_graph(3, 3)
     rot = planar_embedding(g)

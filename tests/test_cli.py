@@ -76,6 +76,89 @@ def test_bandwidth_flag(capsys):
     assert code == 0
 
 
+class TestCertification:
+    def test_certify_accepts_and_exits_zero(self, capsys):
+        code = main(["--demo", "grid", "4", "4", "--certify", "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "certification ACCEPTED by all 16 nodes" in out
+        assert "certify:" in out  # the ledger shows the new phases
+
+    def test_certify_adversary_all_detected(self, capsys):
+        code = main(["--demo", "trigrid", "4", "4", "--certify-adversary", "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "tamper suite: 15/15 detected" in out
+        assert "rejected by node" in out
+        assert "MISSED" not in out
+
+    def test_certify_with_baseline(self, capsys):
+        code = main(["--demo", "grid", "3", "3", "--baseline", "--certify", "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "certification ACCEPTED" in out
+
+    def test_certify_json_report(self, capsys):
+        code = main(["--demo", "maximal", "20", "--certify-adversary", "--json"])
+        captured = capsys.readouterr()
+        assert code == 0
+        report = json.loads(captured.out)
+        assert report["certification"]["accepted"] is True
+        assert report["certification"]["rounds"] > 0
+        assert report["certificates"]["nodes"] == 20
+        assert report["tamper_suite"]["all_detected"] is True
+
+    def test_rejected_embedding_exits_three(self, monkeypatch, capsys):
+        from repro.planar.verify import EmbeddingViolation
+
+        def always_reject(graph, order):
+            raise EmbeddingViolation("injected failure")
+
+        monkeypatch.setattr(
+            "repro.core.algorithm.verify_planar_embedding", always_reject
+        )
+        code = main(["--demo", "grid", "3", "3", "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 3
+        assert "EMBEDDING REJECTED" in out
+        assert "injected failure" in out
+
+    def test_rejected_embedding_json_exits_three(self, monkeypatch, capsys):
+        from repro.planar.verify import EmbeddingViolation
+
+        def always_reject(graph, order):
+            raise EmbeddingViolation("injected failure")
+
+        monkeypatch.setattr(
+            "repro.core.algorithm.verify_planar_embedding", always_reject
+        )
+        code = main(["--demo", "grid", "3", "3", "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 3
+        assert report["accepted"] is False
+        assert "injected failure" in report["error"]
+
+
+class TestSeededDemos:
+    def test_seed_reproducible(self, capsys):
+        main(["--demo", "maximal", "18", "--seed", "7"])
+        first = capsys.readouterr().out
+        main(["--demo", "maximal", "18", "--seed", "7"])
+        second = capsys.readouterr().out
+        assert first == second
+
+    def test_seed_changes_instance(self, capsys):
+        main(["--demo", "outerplanar", "18", "--seed", "1"])
+        first = capsys.readouterr().out
+        main(["--demo", "outerplanar", "18", "--seed", "2"])
+        second = capsys.readouterr().out
+        assert first != second
+
+    def test_new_demo_families(self, capsys):
+        assert main(["--demo", "tree", "12", "--quiet"]) == 0
+        assert main(["--demo", "outerplanar", "12", "--quiet"]) == 0
+
+
 class TestTracing:
     def test_trace_stdout_is_valid_jsonl_matching_result(self, capsys):
         """Satellite: `--demo grid 6 6 --trace -` emits valid JSONL whose

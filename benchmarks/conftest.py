@@ -64,6 +64,8 @@ class BenchReport:
             rounds=result.rounds,
             messages=result.metrics.messages,
             words=result.metrics.total_words,
+            activations=result.metrics.node_activations,
+            activations_saved=result.metrics.activations_saved,
             wall_s=round(wall_s, 6),
             **extra,
         )

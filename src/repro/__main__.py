@@ -253,7 +253,18 @@ def main(argv: list[str] | None = None) -> int:
     say("round ledger:")
     breakdown = result.metrics.phase_breakdown()
     for phase, row in sorted(breakdown.items(), key=lambda x: -x[1]["rounds"]):
-        say(f"  {phase:32s} {row['rounds']:7d} rounds {row['words']:9d} words")
+        line = f"  {phase:32s} {row['rounds']:7d} rounds {row['words']:9d} words"
+        if row.get("activations"):
+            line += (
+                f" {row['activations']:8d} act"
+                f" (saved {row.get('activations_saved', 0)})"
+            )
+        say(line)
+    if result.metrics.node_activations:
+        say(
+            f"scheduler: {result.metrics.node_activations} node activations,"
+            f" {result.metrics.activations_saved} saved vs dense polling"
+        )
     if args.json:
         report = result.to_report() if hasattr(result, "to_report") else {
             "type": "run-report",

@@ -79,6 +79,10 @@ def _span_label(sp: Span) -> str:
     words = sp.total_words()
     if words:
         bits.append(f"{words}w")
+    activations = sp.total_activations()
+    if activations:
+        saved = sp.total_activations_saved()
+        bits.append(f"{activations}act" + (f"(-{saved})" if saved else ""))
     if sp.end_s is not None:
         bits.append(f"{sp.wall_s * 1000:.1f}ms")
     return " ".join(str(b) for b in bits)

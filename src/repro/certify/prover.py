@@ -18,6 +18,10 @@ edge order.  The construction phase turns that scattered output into a
 
 The result is a :class:`~repro.certify.labels.CertificateSet` mapping
 each node to its :class:`~repro.certify.labels.NodeCertificate`.
+
+Scheduling: every real execution here (election, BFS, convergecast,
+broadcast) runs event-driven node programs, so certificate construction
+wakes each node O(1) times per sub-protocol rather than every round.
 """
 
 from __future__ import annotations

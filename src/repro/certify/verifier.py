@@ -127,7 +127,13 @@ class CertificationReport:
 
 
 class CertVerifierProgram(NodeProgram):
-    """Per-node verifier: one exchange with each neighbor, then decide."""
+    """Per-node verifier: one exchange with each neighbor, then decide.
+
+    Event-driven: everyone sends in ``on_start`` and decides when the
+    last neighbor's label arrives; an empty inbox is a no-op.
+    """
+
+    event_driven = True
 
     def __init__(
         self,

@@ -6,9 +6,15 @@ from .errors import (
     ProtocolViolationError,
     RoundLimitExceededError,
 )
-from .message import payload_bits, payload_words, word_bits
+from .message import PayloadMeter, payload_bits, payload_words, word_bits
 from .metrics import Charge, RoundMetrics
-from .network import CongestNetwork, run_program
+from .network import (
+    SCHEDULERS,
+    CongestNetwork,
+    default_scheduler,
+    run_program,
+    scheduler_override,
+)
 from .node import NodeProgram
 from .pipelining import (
     aggregate_rounds,
@@ -24,6 +30,10 @@ __all__ = [
     "RoundMetrics",
     "Charge",
     "run_program",
+    "SCHEDULERS",
+    "default_scheduler",
+    "scheduler_override",
+    "PayloadMeter",
     "payload_words",
     "payload_bits",
     "word_bits",

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 
-__all__ = ["word_bits", "payload_words", "payload_bits"]
+__all__ = ["word_bits", "payload_words", "payload_bits", "PayloadMeter"]
 
 
 def word_bits(n: int) -> int:
@@ -55,3 +55,47 @@ def payload_bits(payload: object, n: int) -> int:
     """Measure a payload in bits, for an ``n``-node network's word size."""
     bits = word_bits(n)
     return payload_words(payload, bits) * bits
+
+
+def _memo_key(payload: object):
+    """A type-aware cache key: distinguishes values that compare equal but
+    measure differently (``2`` vs ``2.0`` vs ``True``), recursively through
+    tuples.  Unhashable payloads (lists, sets, dicts) produce an unhashable
+    key, which the caller treats as "do not cache"."""
+    cls = payload.__class__
+    if cls is tuple:
+        return (tuple, tuple(map(_memo_key, payload)))
+    return (cls, payload)
+
+
+class PayloadMeter:
+    """A memoizing :func:`payload_words` for one fixed word size.
+
+    Protocol payloads are overwhelmingly small immutable tuples rebuilt
+    with the same shape and values every round (``("layer", d)``,
+    ``("agg", (s, h))``, ...), so the recursive measurement is cached per
+    distinct value.  Keys are type-aware (:func:`_memo_key`), so the cache
+    can never conflate ``2`` with ``2.0`` or ``True``; payloads containing
+    unhashable parts fall back to direct measurement.  The cache is capped
+    to keep adversarial value streams from growing it without bound.
+    """
+
+    __slots__ = ("bits_per_word", "_cache")
+
+    MAX_ENTRIES = 1 << 16
+
+    def __init__(self, bits_per_word: int) -> None:
+        self.bits_per_word = bits_per_word
+        self._cache: dict = {}
+
+    def __call__(self, payload: object) -> int:
+        try:
+            key = _memo_key(payload)
+            return self._cache[key]
+        except KeyError:
+            words = payload_words(payload, self.bits_per_word)
+            if len(self._cache) < self.MAX_ENTRIES:
+                self._cache[key] = words
+            return words
+        except TypeError:  # unhashable key: measure without caching
+            return payload_words(payload, self.bits_per_word)

@@ -37,6 +37,8 @@ class Charge:
     detail: str = ""
     messages: int = 0
     kind: str = "charge"  # "charge" | "real"
+    activations: int = 0  # node activations the scheduler spent
+    activations_saved: int = 0  # activations skipped vs the dense loop
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -46,6 +48,8 @@ class Charge:
             "detail": self.detail,
             "messages": self.messages,
             "kind": self.kind,
+            "activations": self.activations,
+            "activations_saved": self.activations_saved,
         }
 
     @classmethod
@@ -57,6 +61,8 @@ class Charge:
             detail=d.get("detail", ""),
             messages=d.get("messages", 0),
             kind=d.get("kind", "charge"),
+            activations=d.get("activations", 0),
+            activations_saved=d.get("activations_saved", 0),
         )
 
 
@@ -68,6 +74,8 @@ class RoundMetrics:
     messages: int = 0
     total_words: int = 0
     max_words_edge_round: int = 0
+    node_activations: int = 0  # on_start/on_round calls the scheduler made
+    activations_saved: int = 0  # calls skipped vs a dense poll-everyone loop
     charges: list[Charge] = field(default_factory=list)
     phase_rounds: dict[str, int] = field(default_factory=dict)
     # Observability slot — not part of the ledger's value (excluded from
@@ -82,6 +90,16 @@ class RoundMetrics:
         self.messages += messages
         self.total_words += words
         self.max_words_edge_round = max(self.max_words_edge_round, max_edge_words)
+
+    def record_activations(self, activated: int, saved: int) -> None:
+        """Record the scheduler's wall-clock work for one execution:
+        ``activated`` program calls made, ``saved`` calls skipped relative
+        to the dense poll-every-node loop.  Scheduler cost accounting —
+        not part of the CONGEST round semantics (both schedulers produce
+        identical rounds/messages/words; only these two counters differ).
+        """
+        self.node_activations += activated
+        self.activations_saved += saved
 
     # -- cost-model charges --------------------------------------------------
 
@@ -107,13 +125,21 @@ class RoundMetrics:
             self.observer.on_charge(item)
 
     def tag_phase(
-        self, phase: str, rounds: int, messages: int = 0, words: int = 0, detail: str = ""
+        self,
+        phase: str,
+        rounds: int,
+        messages: int = 0,
+        words: int = 0,
+        detail: str = "",
+        activations: int = 0,
+        activations_saved: int = 0,
     ) -> None:
         """Attribute already-recorded real rounds (and traffic) to a phase.
 
         The rounds/words/messages were counted by :meth:`record_round`
-        as they happened; this only files their provenance, as a
-        ``kind="real"`` :class:`Charge`.
+        as they happened (and activations by :meth:`record_activations`);
+        this only files their provenance, as a ``kind="real"``
+        :class:`Charge`.
         """
         self.phase_rounds[phase] = self.phase_rounds.get(phase, 0) + rounds
         item = Charge(
@@ -123,6 +149,8 @@ class RoundMetrics:
             detail=detail or "real execution",
             messages=messages,
             kind="real",
+            activations=activations,
+            activations_saved=activations_saved,
         )
         self.charges.append(item)
         if self.observer is not None:
@@ -145,6 +173,8 @@ class RoundMetrics:
             self.messages += b.messages
             self.total_words += b.total_words
             self.max_words_edge_round = max(self.max_words_edge_round, b.max_words_edge_round)
+            self.node_activations += b.node_activations
+            self.activations_saved += b.activations_saved
             self.charges.extend(b.charges)
 
     def absorb_serial(self, other: "RoundMetrics") -> None:
@@ -153,6 +183,8 @@ class RoundMetrics:
         self.messages += other.messages
         self.total_words += other.total_words
         self.max_words_edge_round = max(self.max_words_edge_round, other.max_words_edge_round)
+        self.node_activations += other.node_activations
+        self.activations_saved += other.activations_saved
         self.charges.extend(other.charges)
         for phase, r in other.phase_rounds.items():
             self.phase_rounds[phase] = self.phase_rounds.get(phase, 0) + r
@@ -164,16 +196,25 @@ class RoundMetrics:
         retained :class:`Charge` provenance (rounds from the phase ledger,
         which additionally covers parallel-composition maxima)."""
         out: dict[str, dict[str, int]] = {
-            phase: {"rounds": r, "messages": 0, "words": 0, "charges": 0}
+            phase: {
+                "rounds": r, "messages": 0, "words": 0, "charges": 0,
+                "activations": 0, "activations_saved": 0,
+            }
             for phase, r in self.phase_rounds.items()
         }
         for c in self.charges:
             row = out.setdefault(
-                c.phase, {"rounds": 0, "messages": 0, "words": 0, "charges": 0}
+                c.phase,
+                {
+                    "rounds": 0, "messages": 0, "words": 0, "charges": 0,
+                    "activations": 0, "activations_saved": 0,
+                },
             )
             row["messages"] += c.messages
             row["words"] += c.words
             row["charges"] += 1
+            row["activations"] += c.activations
+            row["activations_saved"] += c.activations_saved
         return out
 
     def to_dict(self) -> dict[str, Any]:
@@ -184,6 +225,8 @@ class RoundMetrics:
             "messages": self.messages,
             "total_words": self.total_words,
             "max_words_edge_round": self.max_words_edge_round,
+            "node_activations": self.node_activations,
+            "activations_saved": self.activations_saved,
             "phase_rounds": dict(self.phase_rounds),
             "phases": self.phase_breakdown(),
             "charges": [c.to_dict() for c in self.charges],
@@ -198,15 +241,23 @@ class RoundMetrics:
             messages=d["messages"],
             total_words=d["total_words"],
             max_words_edge_round=d["max_words_edge_round"],
+            node_activations=d.get("node_activations", 0),
+            activations_saved=d.get("activations_saved", 0),
             charges=[Charge.from_dict(c) for c in d.get("charges", [])],
             phase_rounds=dict(d.get("phase_rounds", {})),
         )
 
     def summary(self) -> str:
-        lines = [
+        head = (
             f"rounds={self.rounds} messages={self.messages} "
             f"words={self.total_words} max_edge_words={self.max_words_edge_round}"
-        ]
+        )
+        if self.node_activations or self.activations_saved:
+            head += (
+                f" activations={self.node_activations}"
+                f" (saved {self.activations_saved} vs dense)"
+            )
+        lines = [head]
         breakdown = self.phase_breakdown()
         for phase in sorted(breakdown):
             row = breakdown[phase]

@@ -6,20 +6,78 @@ proceeds in synchronous rounds; per round, each node may send one
 is unbounded.  The simulator delivers messages with one-round latency,
 enforces the bandwidth bound on every (edge, round) pair, and feeds a
 :class:`~repro.congest.metrics.RoundMetrics` ledger.
+
+Two schedulers drive the same model:
+
+* ``"event"`` (the default) — an active-set, event-driven round loop:
+  per round only the nodes with a non-empty inbox, the nodes that
+  requested a wakeup (``needs_wakeup``), and unported programs
+  (``event_driven = False``) are called, so the wall-clock cost of a
+  round is proportional to the *work* in it (deliveries + genuinely
+  active nodes) rather than Θ(n);
+* ``"dense"`` — the reference loop that polls every node every round.
+
+Both produce **identical** CONGEST semantics and metrics — the same
+``rounds``, ``messages``, ``total_words``, per-phase tags, and observer
+callbacks — which ``tests/congest/test_scheduler_equivalence.py``
+enforces differentially.  The schedulers differ only in the
+``node_activations`` they consume (the event scheduler additionally
+reports the activations it *saved* versus the dense loop).
 """
 
 from __future__ import annotations
 
 from collections.abc import Callable, Mapping
-from typing import Any
+from contextlib import contextmanager
+from typing import Any, Iterator
 
 from ..planar.graph import Graph, NodeId
 from .errors import BandwidthExceededError, ProtocolViolationError, RoundLimitExceededError
-from .message import payload_words, word_bits
+from .message import PayloadMeter, word_bits
 from .metrics import RoundMetrics
 from .node import NodeProgram
 
-__all__ = ["CongestNetwork", "run_program"]
+__all__ = [
+    "CongestNetwork",
+    "run_program",
+    "SCHEDULERS",
+    "default_scheduler",
+    "scheduler_override",
+]
+
+SCHEDULERS = ("event", "dense")
+
+_default_scheduler = "event"
+
+
+def default_scheduler() -> str:
+    """The scheduler new networks use when none is requested explicitly."""
+    return _default_scheduler
+
+
+def _validate_scheduler(name: str) -> str:
+    if name not in SCHEDULERS:
+        raise ValueError(f"unknown scheduler {name!r}; options: {SCHEDULERS}")
+    return name
+
+
+@contextmanager
+def scheduler_override(name: str) -> Iterator[None]:
+    """Force every :class:`CongestNetwork` created inside the block (that
+    does not pick a scheduler explicitly) onto ``name``.
+
+    This is how the differential suite and the E15 bench run the *whole*
+    embedding pipeline — which creates networks internally — under the
+    dense reference scheduler.
+    """
+    global _default_scheduler
+    _validate_scheduler(name)
+    previous = _default_scheduler
+    _default_scheduler = name
+    try:
+        yield
+    finally:
+        _default_scheduler = previous
 
 
 class CongestNetwork:
@@ -30,6 +88,7 @@ class CongestNetwork:
         graph: Graph,
         bandwidth_words: int = 8,
         metrics: RoundMetrics | None = None,
+        scheduler: str | None = None,
     ) -> None:
         """Create a network.
 
@@ -38,11 +97,22 @@ class CongestNetwork:
         ``B = O(log n)`` bits means a constant number of words, and the
         default constant 8 matches the slack every textbook algorithm
         assumes.  Exceeding it raises :class:`BandwidthExceededError`.
+
+        ``scheduler`` selects the round loop: ``"event"`` (active-set,
+        the default) or ``"dense"`` (poll every node every round); both
+        yield identical metrics.  ``None`` uses the process default (see
+        :func:`scheduler_override`).
         """
         self.graph = graph
         self.bandwidth_words = bandwidth_words
         self.metrics = metrics if metrics is not None else RoundMetrics()
         self.word_bits = word_bits(max(1, graph.num_nodes))
+        self.scheduler = _validate_scheduler(
+            scheduler if scheduler is not None else _default_scheduler
+        )
+        # Memoizing payload meter: each distinct immutable payload shape
+        # is measured once per network, not once per message.
+        self._measure = PayloadMeter(self.word_bits)
         # Per-round observer (e.g. a repro.obs.Tracer), inherited from the
         # ledger; None means the round loop runs with no tracing code at all.
         self.observer = getattr(self.metrics, "observer", None)
@@ -57,98 +127,245 @@ class CongestNetwork:
 
         Termination: every program reports ``done`` and no messages are in
         flight.  The number of rounds consumed is recorded in the metrics
-        ledger (and attributed to ``phase`` when given).
+        ledger (and attributed to ``phase`` when given), along with the
+        node activations the scheduler spent and — under the event-driven
+        scheduler — the activations it saved versus the dense loop.
         """
         if set(programs) != set(self.graph.nodes()):
             raise ProtocolViolationError("programs must cover exactly the graph's nodes")
 
+        metrics = self.metrics
+        messages_before = metrics.messages
+        words_before = metrics.total_words
+        loop = self._loop_dense if self.scheduler == "dense" else self._loop_event
+        rounds_used, activated, iterations = loop(programs, max_rounds, phase)
+        saved = len(programs) * iterations - activated
+        metrics.record_activations(activated, saved)
+        if phase is not None:
+            metrics.tag_phase(
+                phase,
+                rounds_used,
+                messages=metrics.messages - messages_before,
+                words=metrics.total_words - words_before,
+                activations=activated,
+                activations_saved=saved,
+            )
+        return {v: programs[v].result() for v in programs}
+
+    # -- schedulers --------------------------------------------------------
+
+    def _loop_dense(
+        self,
+        programs: Mapping[NodeId, NodeProgram],
+        max_rounds: int,
+        phase: str | None,
+    ) -> tuple[int, int, int]:
+        """The reference loop: every node is called every round."""
         observer = self.observer
-        messages_before = self.metrics.messages
-        words_before = self.metrics.total_words
-        in_flight: dict[NodeId, dict[NodeId, Any]] = {v: {} for v in programs}
-        pending = 0
+        metrics = self.metrics
+        in_flight: dict[NodeId, dict[NodeId, Any]] = {}
         rounds_used = 0
+        activated = 0
+        iterations = 1  # the on_start sweep
 
         # Round 1 sends: on_start.
-        outboxes = {v: programs[v].on_start() for v in programs}
-        pending = self._post(outboxes, in_flight)
+        pending = words = max_edge = 0
+        for v, program in programs.items():
+            outbox = program.on_start()
+            activated += 1
+            if outbox:
+                c, w, me = self._post_outbox(v, outbox, in_flight)
+                pending += c
+                words += w
+                if me > max_edge:
+                    max_edge = me
         if pending:
             rounds_used += 1
-            stats = self._account(outboxes)
+            metrics.record_round(pending, words, max_edge)
             if observer is not None:
-                observer.on_round(1, *stats)
+                observer.on_round(1, pending, words, max_edge)
 
         round_no = 1
         while True:
-            if all(programs[v].done for v in programs) and pending == 0:
+            if pending == 0 and all(programs[v].done for v in programs):
                 break
             if round_no > max_rounds:
                 raise RoundLimitExceededError(
                     self._limit_diagnosis(programs, phase, round_no, max_rounds, pending)
                 )
             round_no += 1
+            iterations += 1
             inboxes = in_flight
-            in_flight = {v: {} for v in programs}
-            outboxes = {}
-            for v in programs:
-                inbox = inboxes[v]
-                outboxes[v] = programs[v].on_round(round_no, inbox) or {}
-            pending = self._post(outboxes, in_flight)
+            in_flight = {}
+            pending = words = max_edge = 0
+            for v, program in programs.items():
+                outbox = program.on_round(round_no, inboxes.get(v) or {})
+                activated += 1
+                if outbox:
+                    c, w, me = self._post_outbox(v, outbox, in_flight)
+                    pending += c
+                    words += w
+                    if me > max_edge:
+                        max_edge = me
             if pending:
                 # A CONGEST round bundles send + receive; an iteration in
                 # which nothing is sent only consumes local computation.
                 rounds_used += 1
-                stats = self._account(outboxes)
+                metrics.record_round(pending, words, max_edge)
                 if observer is not None:
-                    observer.on_round(round_no, *stats)
+                    observer.on_round(round_no, pending, words, max_edge)
+        return rounds_used, activated, iterations
 
-        if phase is not None:
-            self.metrics.tag_phase(
-                phase,
-                rounds_used,
-                messages=self.metrics.messages - messages_before,
-                words=self.metrics.total_words - words_before,
-            )
-        return {v: programs[v].result() for v in programs}
+    def _loop_event(
+        self,
+        programs: Mapping[NodeId, NodeProgram],
+        max_rounds: int,
+        phase: str | None,
+    ) -> tuple[int, int, int]:
+        """The active-set loop: wake only nodes with messages or requests.
+
+        Semantic equivalence with :meth:`_loop_dense` rests on two pieces:
+
+        * the event-driven contract (skipped calls would have been no-ops,
+          see :mod:`repro.congest.node`), and
+        * waking the active set in *program order* (``sorted`` by each
+          node's index in ``programs``), so message posting — and hence
+          every inbox's sender order — is exactly the dense loop's.
+
+        Quiescence is tracked incrementally: an undone-counter updated
+        only for nodes that were just activated (a program's ``done`` can
+        only change inside its own calls), replacing the O(n) all-done
+        scan; inboxes are created lazily on first delivery, replacing the
+        O(n) per-round dict rebuild.
+        """
+        observer = self.observer
+        metrics = self.metrics
+        in_flight: dict[NodeId, dict[NodeId, Any]] = {}
+        rounds_used = 0
+        activated = 0
+        iterations = 1
+
+        order = {v: i for i, v in enumerate(programs)}
+        polled = [v for v, p in programs.items() if not p.event_driven]
+        wakers: set[NodeId] = set()
+        done_seen: dict[NodeId, bool] = {}
+        undone = 0
+
+        # Round 1 sends: on_start (every node, like the dense loop).
+        pending = words = max_edge = 0
+        for v, program in programs.items():
+            outbox = program.on_start()
+            activated += 1
+            if outbox:
+                c, w, me = self._post_outbox(v, outbox, in_flight)
+                pending += c
+                words += w
+                if me > max_edge:
+                    max_edge = me
+            d = program.done
+            done_seen[v] = d
+            if not d:
+                undone += 1
+            if program.needs_wakeup:
+                wakers.add(v)
+        if pending:
+            rounds_used += 1
+            metrics.record_round(pending, words, max_edge)
+            if observer is not None:
+                observer.on_round(1, pending, words, max_edge)
+
+        round_no = 1
+        while True:
+            if pending == 0 and undone == 0:
+                break
+            if round_no > max_rounds:
+                raise RoundLimitExceededError(
+                    self._limit_diagnosis(programs, phase, round_no, max_rounds, pending)
+                )
+            round_no += 1
+            iterations += 1
+            inboxes = in_flight
+            in_flight = {}
+            if wakers or polled:
+                active = set(inboxes)
+                active.update(wakers)
+                active.update(polled)
+            else:
+                active = set(inboxes)
+            if not active:
+                # No messages, no wakeup requests, nothing polled — yet
+                # some program is not done.  The dense loop would spin
+                # silent rounds until max_rounds; fail fast instead with
+                # the same exception type and a stall diagnosis.
+                raise RoundLimitExceededError(
+                    self._stall_diagnosis(programs, phase, round_no, undone)
+                )
+            pending = words = max_edge = 0
+            for v in sorted(active, key=order.__getitem__):
+                program = programs[v]
+                outbox = program.on_round(round_no, inboxes.get(v) or {})
+                activated += 1
+                if outbox:
+                    c, w, me = self._post_outbox(v, outbox, in_flight)
+                    pending += c
+                    words += w
+                    if me > max_edge:
+                        max_edge = me
+                d = program.done
+                if d != done_seen[v]:
+                    done_seen[v] = d
+                    undone += -1 if d else 1
+                if program.needs_wakeup:
+                    wakers.add(v)
+                else:
+                    wakers.discard(v)
+            if pending:
+                rounds_used += 1
+                metrics.record_round(pending, words, max_edge)
+                if observer is not None:
+                    observer.on_round(round_no, pending, words, max_edge)
+        return rounds_used, activated, iterations
 
     # -- internals -------------------------------------------------------
 
-    def _post(
+    def _post_outbox(
         self,
-        outboxes: Mapping[NodeId, Mapping[NodeId, Any]],
+        sender: NodeId,
+        outbox: Mapping[NodeId, Any],
         in_flight: dict[NodeId, dict[NodeId, Any]],
-    ) -> int:
-        pending = 0
-        for sender, outbox in outboxes.items():
-            for receiver, payload in outbox.items():
-                if not self.graph.has_edge(sender, receiver):
-                    raise ProtocolViolationError(
-                        f"{sender!r} tried to send to non-neighbor {receiver!r}"
-                    )
-                words = payload_words(payload, self.word_bits)
-                if words > self.bandwidth_words:
-                    raise BandwidthExceededError(
-                        f"{sender!r}->{receiver!r}: {words} words exceeds "
-                        f"bandwidth {self.bandwidth_words}"
-                    )
-                in_flight[receiver][sender] = payload
-                pending += 1
-        return pending
-
-    def _account(
-        self, outboxes: Mapping[NodeId, Mapping[NodeId, Any]]
     ) -> tuple[int, int, int]:
-        messages = 0
+        """Validate, measure, and deliver one node's outbox — single pass.
+
+        Each payload is measured exactly once (memoized), serving both
+        the bandwidth check and the ledger.  Returns
+        ``(messages, words, max_edge_words)``.
+        """
+        graph = self.graph
+        measure = self._measure
+        bandwidth = self.bandwidth_words
+        count = 0
         words = 0
         max_edge = 0
-        for sender, outbox in outboxes.items():
-            for receiver, payload in outbox.items():
-                w = payload_words(payload, self.word_bits)
-                messages += 1
-                words += w
-                max_edge = max(max_edge, w)
-        self.metrics.record_round(messages, words, max_edge)
-        return messages, words, max_edge
+        for receiver, payload in outbox.items():
+            if not graph.has_edge(sender, receiver):
+                raise ProtocolViolationError(
+                    f"{sender!r} tried to send to non-neighbor {receiver!r}"
+                )
+            w = measure(payload)
+            if w > bandwidth:
+                raise BandwidthExceededError(
+                    f"{sender!r}->{receiver!r}: {w} words exceeds "
+                    f"bandwidth {bandwidth}"
+                )
+            box = in_flight.get(receiver)
+            if box is None:
+                box = in_flight[receiver] = {}
+            box[sender] = payload
+            count += 1
+            words += w
+            if w > max_edge:
+                max_edge = w
+        return count, words, max_edge
 
     def _limit_diagnosis(
         self,
@@ -172,6 +389,26 @@ class CongestNetwork:
             + ")"
         )
 
+    def _stall_diagnosis(
+        self,
+        programs: Mapping[NodeId, NodeProgram],
+        phase: str | None,
+        round_no: int,
+        undone: int,
+    ) -> str:
+        stuck = [v for v in programs if not programs[v].done]
+        examples = ", ".join(repr(v) for v in sorted(stuck, key=repr)[:5])
+        if len(stuck) > 5:
+            examples += ", ..."
+        return (
+            f"event scheduler stalled at round {round_no}"
+            f" (phase={phase or '<unnamed>'}): no messages in flight and no"
+            f" wakeup requests, but {undone}/{len(programs)} programs not"
+            " done — an event-driven program that needs silent rounds must"
+            " keep needs_wakeup set"
+            + (f"; e.g. {examples}" if stuck else "")
+        )
+
 
 def run_program(
     graph: Graph,
@@ -180,8 +417,11 @@ def run_program(
     metrics: RoundMetrics | None = None,
     max_rounds: int = 1_000_000,
     phase: str | None = None,
+    scheduler: str | None = None,
 ) -> dict[NodeId, Any]:
     """Convenience wrapper: instantiate one program per node and run."""
-    network = CongestNetwork(graph, bandwidth_words=bandwidth_words, metrics=metrics)
+    network = CongestNetwork(
+        graph, bandwidth_words=bandwidth_words, metrics=metrics, scheduler=scheduler
+    )
     programs = {v: factory(v, graph.neighbors(v)) for v in graph.nodes()}
     return network.run(programs, max_rounds=max_rounds, phase=phase)

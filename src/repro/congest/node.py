@@ -5,6 +5,34 @@ A :class:`NodeProgram` is instantiated once per vertex and driven by
 program receives the messages its neighbors sent in the previous round
 and returns the messages to send this round (at most one per incident
 edge, each at most ``B`` bits — the network enforces the bound).
+
+Scheduling contract
+-------------------
+
+The simulator supports two schedulers with identical CONGEST semantics
+(same round numbers, same messages, same metrics):
+
+* the *dense* reference scheduler calls :meth:`on_round` on **every**
+  node every round — wall-clock cost Θ(n) per round;
+* the *event-driven* scheduler (the default) wakes a node only when its
+  inbox is non-empty or it asked to be woken — wall-clock cost
+  proportional to actual work.
+
+A program opts into event-driven scheduling by setting the class
+attribute ``event_driven = True``.  Doing so is a promise: **calling
+``on_round`` with an empty inbox (when the node did not request a
+wakeup) would be a no-op** — it would return no messages and change no
+state.  Programs that genuinely need to observe silent rounds (e.g. to
+count rounds locally) keep ``self.needs_wakeup`` set to ``True`` while
+they do; the scheduler then wakes them every round, messages or not,
+exactly as the dense scheduler would.  Round numbers are global
+scheduler state, so a node sleeping through rounds still sees the true
+``round_no`` on its next wakeup — round-number semantics never depend
+on the scheduler.
+
+Unported programs (``event_driven = False``, the default) are polled
+every round by both schedulers, so existing programs keep working
+unchanged.
 """
 
 from __future__ import annotations
@@ -23,12 +51,23 @@ class NodeProgram:
     once their local output is fixed.  An execution terminates when every
     program reports ``done`` *and* no messages are in flight (quiescence),
     so round counts are emergent rather than asserted.
+
+    See the module docstring for the event-driven scheduling contract
+    (``event_driven`` / ``needs_wakeup``).
     """
+
+    #: Class-level opt-in to event-driven scheduling: ``True`` promises
+    #: that ``on_round`` with an empty inbox (and no wakeup request) is a
+    #: no-op, so the scheduler may skip the call entirely.
+    event_driven: bool = False
 
     def __init__(self, node_id: NodeId, neighbors: list[NodeId]) -> None:
         self.node_id = node_id
         self.neighbors = list(neighbors)
         self.done = False
+        #: While ``True``, the event-driven scheduler wakes this node
+        #: every round even with an empty inbox (dense-poll semantics).
+        self.needs_wakeup = False
 
     def on_start(self) -> dict[NodeId, Any]:
         """Messages to send in round 1 (before anything is received)."""

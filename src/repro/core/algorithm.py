@@ -126,6 +126,8 @@ class EmbeddingResult:
             "known_n": self.known_n,
             "diameter_upper": self.diameter_upper,
             "leader": repr(self.leader),
+            "node_activations": self.metrics.node_activations,
+            "activations_saved": self.metrics.activations_saved,
             "metrics": self.metrics.to_dict(),
         }
         if self.certification is not None:

@@ -73,6 +73,8 @@ class Span:
     messages: int = 0
     words: int = 0
     max_edge_words: int = 0
+    activations: int = 0  # scheduler node activations (from real charges)
+    activations_saved: int = 0  # activations skipped vs the dense loop
     events: list[TraceEvent] = field(default_factory=list)
     children: list["Span"] = field(default_factory=list)
 
@@ -96,6 +98,15 @@ class Span:
     def total_messages(self) -> int:
         return self.messages + sum(c.total_messages() for c in self.children)
 
+    def total_activations(self) -> int:
+        """Scheduler activations, like traffic: they always sum."""
+        return self.activations + sum(c.total_activations() for c in self.children)
+
+    def total_activations_saved(self) -> int:
+        return self.activations_saved + sum(
+            c.total_activations_saved() for c in self.children
+        )
+
     def walk(self) -> Iterator["Span"]:
         yield self
         for c in self.children:
@@ -116,6 +127,8 @@ class Span:
             "messages": self.messages,
             "words": self.words,
             "max_edge_words": self.max_edge_words,
+            "activations": self.activations,
+            "activations_saved": self.activations_saved,
             "events": [e.to_dict() for e in self.events],
         }
 
@@ -134,6 +147,8 @@ class Span:
             messages=d.get("messages", 0),
             words=d.get("words", 0),
             max_edge_words=d.get("max_edge_words", 0),
+            activations=d.get("activations", 0),
+            activations_saved=d.get("activations_saved", 0),
             events=[TraceEvent.from_dict(e) for e in d.get("events", [])],
         )
 
@@ -222,7 +237,9 @@ class Tracer:
         Real-execution charges (``charge.kind == "real"``) were already
         accounted round-by-round via :meth:`on_round`; only their phase
         attribution is recorded as an event.  Cost-model charges add
-        their rounds and traffic to the span.
+        their rounds and traffic to the span.  Scheduler activation
+        counts ride only on real charges (rounds never flow through
+        :meth:`on_round` for them), so they are added unconditionally.
         """
         if not self._stack:
             return
@@ -231,6 +248,10 @@ class Tracer:
             sp.rounds += charge.rounds
             sp.messages += charge.messages
             sp.words += charge.words
+        activations = getattr(charge, "activations", 0)
+        saved = getattr(charge, "activations_saved", 0)
+        sp.activations += activations
+        sp.activations_saved += saved
         sp.events.append(
             TraceEvent(
                 "charge",
@@ -241,6 +262,8 @@ class Tracer:
                     "rounds": charge.rounds,
                     "messages": charge.messages,
                     "words": charge.words,
+                    "activations": activations,
+                    "activations_saved": saved,
                     "detail": charge.detail,
                 },
             )

@@ -21,7 +21,14 @@ __all__ = ["ConvergecastProgram", "BroadcastProgram", "tree_aggregate", "tree_br
 
 
 class ConvergecastProgram(NodeProgram):
-    """Combine values up a rooted tree; every node learns its subtree value."""
+    """Combine values up a rooted tree; every node learns its subtree value.
+
+    Event-driven: leaves fire in ``on_start``; an inner node sends only
+    when the last child's value arrives, so an empty inbox is a no-op and
+    only the upward wavefront is woken.
+    """
+
+    event_driven = True
 
     def __init__(
         self,
@@ -70,7 +77,13 @@ _UNSET = object()
 
 
 class BroadcastProgram(NodeProgram):
-    """Push a root value down a rooted tree."""
+    """Push a root value down a rooted tree.
+
+    Event-driven: the root fires in ``on_start``; everyone else forwards
+    exactly once, on receipt — only the downward wavefront is woken.
+    """
+
+    event_driven = True
 
     def __init__(
         self,

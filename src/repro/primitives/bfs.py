@@ -68,7 +68,14 @@ class BfsTree:
 
 
 class BfsProgram(NodeProgram):
-    """Per-node BFS participant."""
+    """Per-node BFS participant.
+
+    Event-driven: a node acts only on arriving ``layer``/``join``
+    messages (the root fires once in ``on_start``); an empty inbox is a
+    no-op, so the scheduler wakes only the BFS wavefront each round.
+    """
+
+    event_driven = True
 
     def __init__(self, node_id: NodeId, neighbors: list[NodeId], root: NodeId) -> None:
         super().__init__(node_id, neighbors)

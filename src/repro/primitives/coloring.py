@@ -14,6 +14,11 @@ two neighbors) and return, along with their output, the number of
 synchronous steps a distributed execution would need — each step is a
 single exchange with direct neighbors, so the paper's Remark 1 converts
 it to ``O(D)`` real rounds per step when nodes are parts.
+
+Scheduling: these are synchronous-step *simulations* whose costs enter
+the ledger as exact pipelined charges — no per-round node loop exists
+here, so the event-driven scheduler has nothing to skip (the charge
+path is already O(1) per step).
 """
 
 from __future__ import annotations

@@ -9,6 +9,10 @@ leader, a convergecast counting nodes and measuring the BFS height, and
 a broadcast distributing (n, 2-approx of D) to everyone.  The
 2-approximation is the standard one: the BFS eccentricity ``ecc(root)``
 satisfies ``ecc <= D <= 2*ecc``.
+
+Scheduling: every constituent (leader election, BFS, convergecast,
+broadcast) runs event-driven node programs, so the whole preamble wakes
+each node O(1) times per sub-protocol instead of once per round.
 """
 
 from __future__ import annotations

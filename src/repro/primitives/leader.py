@@ -21,7 +21,14 @@ __all__ = ["MaxIdFloodProgram", "elect_leader"]
 
 
 class MaxIdFloodProgram(NodeProgram):
-    """Track and forward the largest node ID seen so far."""
+    """Track and forward the largest node ID seen so far.
+
+    Event-driven: forwarding happens only on improvement, and an
+    improvement needs an incoming candidate — an empty inbox is a no-op,
+    so only the expanding improvement frontier is ever woken.
+    """
+
+    event_driven = True
 
     def __init__(self, node_id: NodeId, neighbors: list[NodeId]) -> None:
         super().__init__(node_id, neighbors)

@@ -21,6 +21,11 @@ the classical peeling alternative (Barenboim-Elkin H-partition):
 Planar graphs have arboricity <= 3, so ``sparsity=3`` peels at degree 6
 and yields out-degree <= 6; the deviation from the paper (O(log n) vs
 O(1) steps) is recorded in DESIGN.md §3 and measured in the benchmarks.
+
+Scheduling: like :mod:`repro.primitives.coloring` this is a
+synchronous-step simulation accounted by exact charges, not a per-round
+node-program loop, so it is unaffected by (and costs nothing under)
+either CONGEST scheduler.
 """
 
 from __future__ import annotations

@@ -31,7 +31,14 @@ __all__ = ["SplitterWalkProgram", "find_splitter", "splitter_components"]
 
 
 class SplitterWalkProgram(NodeProgram):
-    """One hop of the token walk toward the splitter vertex."""
+    """One hop of the token walk toward the splitter vertex.
+
+    Event-driven: exactly one token exists, so exactly one node acts per
+    round — the sharpest case for the active-set scheduler (the dense
+    loop would wake all ``n`` nodes per hop for this single-token walk).
+    """
+
+    event_driven = True
 
     def __init__(
         self,

@@ -5,6 +5,11 @@ before it can pick the 2/3-balanced splitter vertex (Section 4, "The
 Partitioning") every vertex must know the size of its own subtree and a
 parent must know each child's.  One convergecast of (size, height) pairs
 — ``depth(T_s)`` real rounds — provides both.
+
+Scheduling: this module's only message passing is the
+:class:`~repro.primitives.aggregation.ConvergecastProgram`, which is
+event-driven, so a subtree-stats pass wakes each node O(1) times rather
+than once per round.
 """
 
 from __future__ import annotations

@@ -98,9 +98,13 @@ class TestSerialization:
     def test_phase_breakdown_from_charge_provenance(self):
         m = self.make_ledger()
         phases = m.to_dict()["phases"]
-        assert phases["bfs"] == {"rounds": 2, "messages": 6, "words": 11, "charges": 1}
+        assert phases["bfs"] == {
+            "rounds": 2, "messages": 6, "words": 11, "charges": 1,
+            "activations": 0, "activations_saved": 0,
+        }
         assert phases["merge:star"] == {
             "rounds": 5, "messages": 7, "words": 20, "charges": 1,
+            "activations": 0, "activations_saved": 0,
         }
 
 

@@ -1,0 +1,336 @@
+"""Differential suite: the event-driven scheduler is metrics-identical
+to the dense reference loop.
+
+Every program family, the certification round-trip, and the full
+``embed_planar`` pipeline run under both schedulers on the same inputs;
+results, round counts, message counts, word totals, and the per-phase
+breakdown must match exactly.  Activation counters are the *only*
+permitted divergence — they are what the event scheduler optimizes —
+and even those obey a conservation law (dense activations == event
+activations + event savings).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.congest import (
+    CongestNetwork,
+    NodeProgram,
+    PayloadMeter,
+    RoundLimitExceededError,
+    RoundMetrics,
+    default_scheduler,
+    run_program,
+    scheduler_override,
+)
+from repro.congest.message import payload_words
+from repro.core import distributed_planar_embedding
+from repro.obs import Tracer
+from repro.planar import generators
+from repro.primitives.aggregation import tree_aggregate, tree_broadcast
+from repro.primitives.bfs import build_bfs_tree
+from repro.primitives.leader import elect_leader
+from repro.primitives.splitter import find_splitter
+
+
+def fingerprint(m: RoundMetrics) -> dict:
+    """Everything two schedulers must agree on (activations excluded)."""
+    phases = {
+        phase: {k: v for k, v in row.items() if not k.startswith("activations")}
+        for phase, row in m.phase_breakdown().items()
+    }
+    return {
+        "rounds": m.rounds,
+        "messages": m.messages,
+        "total_words": m.total_words,
+        "max_words_edge_round": m.max_words_edge_round,
+        "phases": phases,
+    }
+
+
+def both_schedulers(run):
+    """Run ``run(metrics)`` under each scheduler; return both outcomes."""
+    out = {}
+    for scheduler in ("dense", "event"):
+        with scheduler_override(scheduler):
+            m = RoundMetrics()
+            out[scheduler] = (run(m), m)
+    return out["dense"], out["event"]
+
+
+GRAPHS = {
+    "grid": lambda: generators.grid_graph(5, 7),
+    "trigrid": lambda: generators.triangulated_grid(4, 6),
+    "cycle": lambda: generators.cycle_graph(17),
+    "outerplanar": lambda: generators.random_outerplanar(30, seed=3),
+    "maximal": lambda: generators.random_maximal_planar(24, seed=7),
+    "tree": lambda: generators.random_tree(33, seed=1),
+}
+
+
+@pytest.mark.parametrize("family", sorted(GRAPHS))
+class TestPrimitiveEquivalence:
+    def test_leader_election(self, family):
+        graph = GRAPHS[family]()
+        (rd, md), (re_, me) = both_schedulers(lambda m: elect_leader(graph, metrics=m))
+        assert rd == re_
+        assert fingerprint(md) == fingerprint(me)
+
+    def test_bfs_tree(self, family):
+        graph = GRAPHS[family]()
+        root = max(graph.nodes())
+
+        def run(m):
+            t = build_bfs_tree(graph, root, metrics=m)
+            return (t.parent, t.children, t.depth_of)
+
+        (rd, md), (re_, me) = both_schedulers(run)
+        assert rd == re_
+        assert fingerprint(md) == fingerprint(me)
+
+    def test_aggregate_and_broadcast(self, family):
+        graph = GRAPHS[family]()
+        root = max(graph.nodes())
+        tree = build_bfs_tree(graph, root)
+
+        def run(m):
+            agg = tree_aggregate(
+                graph, tree.parent, tree.children, {v: 1 for v in graph.nodes()},
+                sum, metrics=m,
+            )
+            bc = tree_broadcast(
+                graph, tree.parent, tree.children, ("total", agg[root][0]), metrics=m
+            )
+            return (agg, bc)
+
+        (rd, md), (re_, me) = both_schedulers(run)
+        assert rd == re_
+        assert fingerprint(md) == fingerprint(me)
+
+    def test_splitter_walk(self, family):
+        graph = GRAPHS[family]()
+        root = max(graph.nodes())
+        tree = build_bfs_tree(graph, root)
+        # The walk runs on the BFS tree itself (its edges are graph edges).
+        from repro.planar import Graph
+
+        tg = Graph()
+        for v in graph.nodes():
+            tg.add_node(v)
+        for v, p in tree.parent.items():
+            if p is not None:
+                tg.add_edge(v, p)
+
+        (rd, md), (re_, me) = both_schedulers(
+            lambda m: find_splitter(tg, root, tree.parent, tree.children, metrics=m)
+        )
+        assert rd == re_
+        assert fingerprint(md) == fingerprint(me)
+
+
+class TestPipelineEquivalence:
+    """The whole Theorem 1.1 pipeline — including prover + distributed
+    verifier — is scheduler-invariant on the CLI demo families."""
+
+    PIPELINE_GRAPHS = {
+        "grid": lambda: generators.grid_graph(6, 6),
+        "outerplanar": lambda: generators.random_outerplanar(40, seed=11),
+        "tree": lambda: generators.random_tree(40, seed=5),
+    }
+
+    @pytest.mark.parametrize("family", sorted(PIPELINE_GRAPHS))
+    def test_embed_with_certification(self, family):
+        graph = self.PIPELINE_GRAPHS[family]()
+        results = {}
+        for scheduler in ("dense", "event"):
+            with scheduler_override(scheduler):
+                results[scheduler] = distributed_planar_embedding(graph, certify=True)
+        dense, event = results["dense"], results["event"]
+        assert dense.rotation == event.rotation
+        assert dense.leader == event.leader
+        assert dense.bfs_depth == event.bfs_depth
+        assert dense.certification.accepted and event.certification.accepted
+        assert fingerprint(dense.metrics) == fingerprint(event.metrics)
+
+    def test_activation_conservation(self):
+        """dense activations == event activations + event savings; the
+        dense loop never saves anything."""
+        graph = generators.grid_graph(6, 6)
+        results = {}
+        for scheduler in ("dense", "event"):
+            with scheduler_override(scheduler):
+                results[scheduler] = distributed_planar_embedding(graph)
+        dense_m, event_m = results["dense"].metrics, results["event"].metrics
+        assert dense_m.activations_saved == 0
+        assert event_m.activations_saved > 0
+        assert (
+            event_m.node_activations + event_m.activations_saved
+            == dense_m.node_activations
+        )
+
+    @pytest.mark.parametrize("scheduler", ["dense", "event"])
+    def test_tracer_rollup_matches_ledger(self, scheduler):
+        """root.total_rounds() == metrics.rounds under either scheduler."""
+        graph = generators.grid_graph(5, 5)
+        tracer = Tracer()
+        with scheduler_override(scheduler):
+            result = distributed_planar_embedding(graph, tracer=tracer)
+        assert tracer.root.total_rounds() == result.metrics.rounds
+        assert tracer.root.total_words() == result.metrics.total_words
+        assert tracer.root.total_activations() == result.metrics.node_activations
+        assert (
+            tracer.root.total_activations_saved() == result.metrics.activations_saved
+        )
+
+
+class SilentCountdown(NodeProgram):
+    """Event-driven program that must observe message-free rounds: each
+    node counts ``ticks`` silent rounds via ``needs_wakeup`` before
+    finishing.  Exercises the wake-request half of the contract."""
+
+    event_driven = True
+
+    def __init__(self, node_id, neighbors, ticks=4):
+        super().__init__(node_id, neighbors)
+        self.ticks = ticks
+        self.seen = []
+        self.needs_wakeup = True
+
+    def on_round(self, round_no, inbox):
+        self.seen.append(round_no)
+        self.ticks -= 1
+        if self.ticks <= 0:
+            self.done = True
+            self.needs_wakeup = False
+        return {}
+
+    def result(self):
+        return tuple(self.seen)
+
+
+class LateFlood(NodeProgram):
+    """Unported (``event_driven = False``): sits silent until its local
+    round counter fires, then floods.  Legal only because unported
+    programs are polled every round by both schedulers."""
+
+    def __init__(self, node_id, neighbors, fire_at=4):
+        super().__init__(node_id, neighbors)
+        self.fire_at = fire_at
+        self.value = None
+
+    def on_start(self):
+        return {}
+
+    def on_round(self, round_no, inbox):
+        for sender, payload in inbox.items():
+            if self.value is None:
+                self.value = payload
+                self.done = True
+                return {u: payload for u in self.neighbors if u != sender}
+        if round_no == self.fire_at and self.node_id == min(self.neighbors + [self.node_id]):
+            self.value = ("spark", self.node_id)
+            self.done = True
+            return {u: self.value for u in self.neighbors}
+        return {}
+
+    def result(self):
+        return self.value
+
+
+class Stuck(NodeProgram):
+    """A buggy event-driven program: never done, never asks for wakeup."""
+
+    event_driven = True
+
+    def on_round(self, round_no, inbox):
+        return {}
+
+
+class TestSchedulingContract:
+    def test_needs_wakeup_gets_silent_rounds(self):
+        graph = generators.path_graph(4)
+        outcomes = {}
+        for scheduler in ("dense", "event"):
+            with scheduler_override(scheduler):
+                m = RoundMetrics()
+                outcomes[scheduler] = (
+                    run_program(graph, SilentCountdown, metrics=m, phase="tick"), m
+                )
+        (rd, md), (re_, me) = outcomes["dense"], outcomes["event"]
+        assert rd == re_
+        # every node saw rounds 2..5 even though no message was ever sent
+        assert all(v == (2, 3, 4, 5) for v in rd.values())
+        assert fingerprint(md) == fingerprint(me)
+        # wakeup-requesters are woken every round: nothing saved here
+        assert me.activations_saved == 0
+
+    def test_unported_program_is_polled(self):
+        graph = generators.cycle_graph(9)
+        outcomes = {}
+        for scheduler in ("dense", "event"):
+            with scheduler_override(scheduler):
+                m = RoundMetrics()
+                outcomes[scheduler] = (
+                    run_program(graph, LateFlood, metrics=m, phase="flood"), m
+                )
+        (rd, md), (re_, me) = outcomes["dense"], outcomes["event"]
+        assert rd == re_
+        assert fingerprint(md) == fingerprint(me)
+        # a polled node is an activation in both loops: no savings at all
+        assert me.activations_saved == 0
+
+    def test_stalled_event_program_fails_fast(self):
+        """Empty active set with undone programs raises immediately (the
+        dense loop would spin to max_rounds) and names the contract."""
+        graph = generators.path_graph(3)
+        with scheduler_override("event"):
+            network = CongestNetwork(graph)
+            programs = {v: Stuck(v, graph.neighbors(v)) for v in graph.nodes()}
+            with pytest.raises(RoundLimitExceededError, match="needs_wakeup"):
+                network.run(programs, phase="stuck")
+
+    def test_explicit_scheduler_beats_default(self):
+        graph = generators.path_graph(3)
+        with scheduler_override("dense"):
+            assert default_scheduler() == "dense"
+            network = CongestNetwork(graph, scheduler="event")
+            assert network.scheduler == "event"
+        assert default_scheduler() == "event"
+
+    def test_unknown_scheduler_rejected(self):
+        graph = generators.path_graph(2)
+        with pytest.raises(ValueError):
+            CongestNetwork(graph, scheduler="lazy")
+        with pytest.raises(ValueError):
+            with scheduler_override("lazy"):
+                pass  # pragma: no cover
+
+
+class TestPayloadMeter:
+    """The memo cache must never conflate equal-comparing payloads of
+    different types — ``2 == 2.0 == True`` but they measure differently."""
+
+    def test_type_aware_keys(self):
+        meter = PayloadMeter(bits_per_word=7)
+        for payload in (2, 2.0, True, ("x", 2), ("x", 2.0), ("x", True)):
+            assert meter(payload) == payload_words(payload, 7), payload
+            # and again, from the cache
+            assert meter(payload) == payload_words(payload, 7), payload
+
+    def test_unhashable_payloads_measured_uncached(self):
+        meter = PayloadMeter(bits_per_word=7)
+        payload = ("list", [1, 2, 3])
+        assert meter(payload) == payload_words(payload, 7)
+        assert meter(payload) == payload_words(payload, 7)
+
+    def test_cache_is_capped(self):
+        class TinyMeter(PayloadMeter):
+            MAX_ENTRIES = 4
+
+        meter = TinyMeter(bits_per_word=7)
+        for i in range(10):
+            meter(("k", i))
+        assert len(meter._cache) <= 4
+        # uncached values still measure correctly
+        assert meter(("k", 9)) == payload_words(("k", 9), 7)

@@ -15,8 +15,10 @@ non-planar input (printing a Kuratowski witness).
 
 Observability: ``--trace FILE`` writes a JSONL span trace of the run
 (``-`` = stdout), ``--json`` prints a machine-readable run report to
-stdout, and ``--view-trace FILE`` renders a previously captured trace
-as an ASCII recursion tree + phase timeline.  Whenever stdout carries
+stdout, ``--profile`` wraps the run in cProfile (top-20 cumulative
+entries land in the JSON report, or a human table otherwise), and
+``--view-trace FILE`` renders a previously captured trace as an ASCII
+recursion tree + phase timeline.  Whenever stdout carries
 machine output, the human-readable report moves to stderr.
 
 Certification: ``--certify`` appends the :mod:`repro.certify` phases —
@@ -129,6 +131,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="write a JSONL span trace of the run (- = stdout)")
     parser.add_argument("--json", action="store_true",
                         help="print a machine-readable run report to stdout")
+    parser.add_argument("--profile", action="store_true",
+                        help="wrap the run in cProfile; the top-20 cumulative "
+                             "entries go into the --json report (or a human "
+                             "table otherwise)")
     parser.add_argument("--view-trace", metavar="FILE", dest="view_trace",
                         help="render a JSONL trace as an ASCII tree and exit")
     args = parser.parse_args(argv)
@@ -136,6 +142,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.view_trace is not None:
         if args.edgelist is not None or args.demo is not None:
             parser.error("--view-trace takes no network input")
+        if args.profile:
+            parser.error("--profile instruments a run; --view-trace does not run")
         return view_trace(args.view_trace)
     if (args.edgelist is None) == (args.demo is None):
         parser.error("provide exactly one of an edge-list file or --demo")
@@ -166,6 +174,12 @@ def main(argv: list[str] | None = None) -> int:
             trace_sink = open(args.trace, "w")
         except OSError as exc:
             parser.error(f"cannot open trace file {args.trace!r}: {exc}")
+    profiler = None
+    if args.profile:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
     t0 = time.perf_counter()
     try:
         if args.baseline:
@@ -182,6 +196,7 @@ def main(argv: list[str] | None = None) -> int:
     except EmbeddingViolation as exc:
         # The computed output failed the centralized referee: an
         # algorithm bug, distinct from non-planar *input* (exit 1).
+        _stop_profiler(profiler)
         _dump_trace(tracer, trace_sink)
         say(f"result: EMBEDDING REJECTED — {exc}")
         if args.json:
@@ -196,6 +211,7 @@ def main(argv: list[str] | None = None) -> int:
         return 3
     except NonPlanarNetworkError:
         wall_s = time.perf_counter() - t0
+        profile_rows = _stop_profiler(profiler)
         _dump_trace(tracer, trace_sink)
         say("result: NOT PLANAR")
         witness = kuratowski_subgraph(graph)
@@ -218,14 +234,27 @@ def main(argv: list[str] | None = None) -> int:
                     "edges": sorted([list(e) for e in witness.edges()], key=repr),
                 },
                 "metrics": metrics.to_dict() if metrics is not None else None,
+                "profile": profile_rows,
             }))
+        elif profile_rows is not None:
+            _print_profile(say, profile_rows)
         return 1
     wall_s = time.perf_counter() - t0
+    profile_rows = _stop_profiler(profiler)
 
     _dump_trace(tracer, trace_sink)
     say(f"result: planar embedding in {result.rounds} CONGEST rounds")
     if result.trace:
         say(f"recursion depth: {result.recursion_depth}")
+    if getattr(result, "split_tests", 0):
+        line = (f"split validation: {result.split_tests} tests,"
+                f" {result.split_rejections} rejected")
+        oracle = getattr(result, "split_oracle", None)
+        if oracle is not None:
+            line += (f" (scoped oracle: {oracle['scoped_tests']} scoped,"
+                     f" {oracle['full_tests']} full,"
+                     f" {oracle['memo_hits']} memo hits)")
+        say(line)
 
     exit_code = 0
     suite = None
@@ -278,8 +307,52 @@ def main(argv: list[str] | None = None) -> int:
         report["algorithm"] = "baseline" if args.baseline else "theorem-1.1"
         if suite is not None:
             report["tamper_suite"] = suite.to_dict()
+        if profile_rows is not None:
+            report["profile"] = profile_rows
         print(json.dumps(report, default=repr))
+    elif profile_rows is not None:
+        _print_profile(say, profile_rows)
     return exit_code
+
+
+def _stop_profiler(profiler, limit: int = 20) -> list[dict] | None:
+    """Disable ``profiler`` and return its top-``limit`` cumulative rows.
+
+    Each row is JSON-ready (function, file, line, call counts, tottime,
+    cumtime); ties on cumulative time break deterministically by
+    location so repeated profiles diff cleanly.
+    """
+    if profiler is None:
+        return None
+    import pstats
+
+    profiler.disable()
+    rows = []
+    for (file, line, name), (cc, nc, tt, ct, _callers) in pstats.Stats(
+        profiler
+    ).stats.items():
+        rows.append({
+            "function": name,
+            "file": file,
+            "line": line,
+            "ncalls": nc,
+            "primitive_calls": cc,
+            "tottime_s": round(tt, 6),
+            "cumtime_s": round(ct, 6),
+        })
+    rows.sort(key=lambda r: (-r["cumtime_s"], r["file"], r["line"], r["function"]))
+    return rows[:limit]
+
+
+def _print_profile(say, rows: list[dict]) -> None:
+    say("profile: top cumulative functions")
+    say(f"  {'cumtime_s':>10s} {'tottime_s':>10s} {'ncalls':>9s}  function")
+    for row in rows:
+        where = f"{row['file']}:{row['line']}" if row["line"] else row["file"]
+        say(
+            f"  {row['cumtime_s']:10.4f} {row['tottime_s']:10.4f}"
+            f" {row['ncalls']:9d}  {row['function']} ({where})"
+        )
 
 
 def _dump_trace(tracer: Tracer | None, sink) -> None:

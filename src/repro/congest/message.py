@@ -61,11 +61,21 @@ def _memo_key(payload: object):
     """A type-aware cache key: distinguishes values that compare equal but
     measure differently (``2`` vs ``2.0`` vs ``True``), recursively through
     tuples.  Unhashable payloads (lists, sets, dicts) produce an unhashable
-    key, which the caller treats as "do not cache"."""
+    key, which the caller treats as "do not cache".
+
+    Flat tuples — the overwhelming protocol case — take a non-recursive
+    path keyed by ``(payload, item_types)``: equal flat tuples with
+    identical per-item types always measure the same.  Recursion is
+    needed only when an item is itself a tuple (``("x", (2,))`` must not
+    collide with ``("x", (2.0,))`` — equal values, equal item types at
+    the top level, different measurements inside)."""
     cls = payload.__class__
-    if cls is tuple:
+    if cls is not tuple:
+        return (cls, payload)
+    types = tuple(map(type, payload))
+    if tuple in types:
         return (tuple, tuple(map(_memo_key, payload)))
-    return (cls, payload)
+    return (payload, types)
 
 
 class PayloadMeter:

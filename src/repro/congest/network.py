@@ -240,6 +240,7 @@ class CongestNetwork:
         """
         observer = self.observer
         metrics = self.metrics
+        post_outbox = self._post_outbox
         in_flight: dict[NodeId, dict[NodeId, Any]] = {}
         rounds_used = 0
         activated = 0
@@ -301,12 +302,16 @@ class CongestNetwork:
                     self._stall_diagnosis(programs, phase, round_no, undone)
                 )
             pending = words = max_edge = 0
-            for v in sorted(active, key=order.__getitem__):
+            wake = (
+                list(active) if len(active) == 1
+                else sorted(active, key=order.__getitem__)
+            )
+            for v in wake:
                 program = programs[v]
                 outbox = program.on_round(round_no, inboxes.get(v) or {})
                 activated += 1
                 if outbox:
-                    c, w, me = self._post_outbox(v, outbox, in_flight)
+                    c, w, me = post_outbox(v, outbox, in_flight)
                     pending += c
                     words += w
                     if me > max_edge:
@@ -340,14 +345,14 @@ class CongestNetwork:
         the bandwidth check and the ledger.  Returns
         ``(messages, words, max_edge_words)``.
         """
-        graph = self.graph
+        neighbors = self.graph._adj[sender]
         measure = self._measure
         bandwidth = self.bandwidth_words
         count = 0
         words = 0
         max_edge = 0
         for receiver, payload in outbox.items():
-            if not graph.has_edge(sender, receiver):
+            if receiver not in neighbors:
                 raise ProtocolViolationError(
                     f"{sender!r} tried to send to non-neighbor {receiver!r}"
                 )

@@ -59,6 +59,9 @@ class EmbeddingResult:
     diameter_upper: int = 0  # the 2-approximation of D (2 * ecc(s*))
     certificates: "CertificateSet | None" = None  # proof labels, if certified
     certification: "CertificationReport | None" = None  # last verifier outcome
+    split_tests: int = 0  # multi-edge bundle split validations run
+    split_rejections: int = 0  # splits rolled back as planarity-breaking
+    split_oracle: dict | None = None  # scoped-oracle counters (None = reference path)
 
     @property
     def rounds(self) -> int:
@@ -128,6 +131,9 @@ class EmbeddingResult:
             "leader": repr(self.leader),
             "node_activations": self.metrics.node_activations,
             "activations_saved": self.metrics.activations_saved,
+            "split_tests": self.split_tests,
+            "split_rejections": self.split_rejections,
+            "split_oracle": self.split_oracle,
             "metrics": self.metrics.to_dict(),
         }
         if self.certification is not None:
@@ -196,8 +202,16 @@ class DistributedPlanarEmbedding:
         self.last_metrics = metrics
         with maybe_span(
             tracer, "run", kind="run", n=graph.num_nodes, m=graph.num_edges
-        ):
+        ) as run_span:
             result = self._run_traced(graph, metrics, tracer)
+            if run_span is not None:
+                # Perf-profile attrs: how much split validation the run
+                # did and how much of it the scoped oracle absorbed.
+                run_span.attrs["split_tests"] = result.split_tests
+                run_span.attrs["split_rejections"] = result.split_rejections
+                if result.split_oracle is not None:
+                    for key, value in result.split_oracle.items():
+                        run_span.attrs[f"oracle_{key}"] = value
             if self.certify:
                 # Certification rides inside the run span so the trace
                 # rollup keeps matching metrics.rounds exactly.
@@ -242,6 +256,7 @@ class DistributedPlanarEmbedding:
         )
         part, recursion_metrics = embed_subtree(ctx, leader, level=0)
         metrics.absorb_serial(recursion_metrics)
+        split_oracle = ctx.split_oracle_stats()
         if part.boundary:  # pragma: no cover - invariant
             raise AssertionError("top-level part still has half-embedded edges")
 
@@ -274,6 +289,9 @@ class DistributedPlanarEmbedding:
             bfs_depth=tree.depth,
             known_n=known_n,
             diameter_upper=2 * known_ecc,
+            split_tests=ctx.split_tests,
+            split_rejections=ctx.split_rejections,
+            split_oracle=split_oracle,
         )
 
     @staticmethod
@@ -335,4 +353,12 @@ def distributed_planarity_test(
         result = driver.run()
         return True, result.metrics
     except NonPlanarNetworkError:
-        return False, driver.last_metrics
+        # ``run()`` stores the ledger before any round is spent, so the
+        # rounds paid up to the detection point are never lost — guard
+        # against that ever regressing to a stale/None counter.
+        metrics = driver.last_metrics
+        if metrics is None:  # pragma: no cover - defensive invariant
+            raise AssertionError(
+                "non-planar detection must leave the partial round ledger behind"
+            ) from None
+        return False, metrics

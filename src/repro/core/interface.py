@@ -32,11 +32,18 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..planar.biconnected import BiconnectedDecomposition, biconnected_components
-from ..planar.graph import Graph, NodeId
+from ..planar.graph import Graph, NodeId, sort_key
 from ..planar.lr_planarity import NonPlanarGraphError, planar_embedding
 from .parts import PartEmbedding
 
 __all__ = ["InterfaceSkeleton", "SkeletonError", "interface_skeleton", "block_attachment_order"]
+
+# A block's attachment order is a pure function of its (canonically
+# sorted) edge set and the relevant vertices, and the same leaf blocks
+# reappear in every ancestor merge up the recursion — so the apex
+# embeds are memoized globally.  Capped against unbounded growth.
+_BLOCK_ORDER_MEMO: dict[tuple, tuple] = {}
+_BLOCK_ORDER_MAX_ENTRIES = 4096
 
 
 class SkeletonError(RuntimeError):
@@ -94,7 +101,7 @@ def _bc_tree_adjacency(
     for component in decomposition.components:
         cid = component.component_id
         block_to_cuts[cid] = sorted(
-            (v for v in component.vertices if v in cuts), key=repr
+            (v for v in component.vertices if v in cuts), key=sort_key
         )
         for v in block_to_cuts[cid]:
             cut_to_blocks[v].append(cid)
@@ -164,8 +171,16 @@ def _smooth_chains(skeleton: Graph, keep: set) -> None:
             changed = True
 
 
-def interface_skeleton(part: PartEmbedding) -> InterfaceSkeleton:
-    """Compress ``part`` to its interface skeleton (see module docstring)."""
+def interface_skeleton(
+    part: PartEmbedding,
+    decomposition: BiconnectedDecomposition | None = None,
+) -> InterfaceSkeleton:
+    """Compress ``part`` to its interface skeleton (see module docstring).
+
+    ``decomposition`` lets a caller share one biconnected decomposition
+    of ``part.graph`` across several skeleton computations (a merge
+    builds both the full and the reduced summary of each part).
+    """
     attachments = part.attachments()
     skeleton = Graph()
     anchors: set[NodeId] = set()
@@ -176,7 +191,8 @@ def interface_skeleton(part: PartEmbedding) -> InterfaceSkeleton:
         anchors.add(anchor)
         return InterfaceSkeleton(part.part_id, skeleton, anchors, words=2)
 
-    decomposition = biconnected_components(part.graph)
+    if decomposition is None:
+        decomposition = biconnected_components(part.graph)
     block_to_cuts, cut_to_blocks = _bc_tree_adjacency(decomposition)
     cuts = decomposition.cut_vertices()
 
@@ -192,7 +208,7 @@ def interface_skeleton(part: PartEmbedding) -> InterfaceSkeleton:
     steiner = _steiner_nodes(terminals, block_to_cuts, cut_to_blocks)
 
     attachment_set = set(attachments)
-    for node in sorted(steiner, key=repr):
+    for node in sorted(steiner, key=sort_key):
         kind, key = node
         if kind != "block":
             continue
@@ -204,17 +220,24 @@ def interface_skeleton(part: PartEmbedding) -> InterfaceSkeleton:
                 if v in attachment_set
                 or (v in cuts and ("cut", v) in steiner)
             },
-            key=repr,
+            key=sort_key,
         )
         if len(relevant) <= 1:
             for v in relevant:
                 skeleton.add_node(v)
                 anchors.add(v)
             continue
-        block_graph = Graph()
-        for u, v in sorted(component.edges, key=repr):
-            block_graph.add_edge(u, v)
-        order = block_attachment_order(block_graph, relevant)
+        edges_sorted = tuple(sorted(component.edges, key=sort_key))
+        memo_key = (edges_sorted, tuple(relevant))
+        order = _BLOCK_ORDER_MEMO.get(memo_key)
+        if order is None:
+            block_graph = Graph()
+            for u, v in edges_sorted:
+                block_graph.add_edge(u, v)
+            order = tuple(block_attachment_order(block_graph, relevant))
+            if len(_BLOCK_ORDER_MEMO) >= _BLOCK_ORDER_MAX_ENTRIES:
+                _BLOCK_ORDER_MEMO.clear()
+            _BLOCK_ORDER_MEMO[memo_key] = order
         anchors.update(order)
         if len(order) == 2:
             skeleton.add_edge(order[0], order[1])

@@ -36,10 +36,11 @@ from dataclasses import dataclass, field
 
 from ..congest.metrics import RoundMetrics
 from ..congest.pipelining import stream_rounds
-from ..planar.graph import Graph, NodeId
+from ..planar.graph import Graph, NodeId, sort_key
 from ..planar.lr_planarity import NonPlanarGraphError, planar_embedding
 from ..planar.rotation import RotationError, RotationSystem, contracted_rotation
 from ..planar.verify import EmbeddingViolation, check_embedding_with_boundary
+from ..planar.biconnected import biconnected_components
 from .interface import SkeletonError, interface_skeleton
 from .parts import (
     HalfEdge,
@@ -107,7 +108,7 @@ def _union_graph_and_boundary(
     for p in parts:
         for u, x in p.boundary:
             if x in owner:
-                key = (u, x) if repr(u) < repr(x) else (x, u)
+                key = (u, x) if sort_key(u) < sort_key(x) else (x, u)
                 if key not in seen:
                     seen.add(key)
                     connecting.append(key)
@@ -187,7 +188,9 @@ def merge_parts(parts: list[PartEmbedding], verify: bool = True) -> MergeResult:
     return result
 
 
-def _reduced_summary_words(p: PartEmbedding, connecting_set: set) -> int:
+def _reduced_summary_words(
+    p: PartEmbedding, connecting_set: set, decomposition=None
+) -> int:
     """Words of the *merge-relevant* compressed summary of ``p``.
 
     Following the paper's compressed PQ-trees ("summarizes only essential
@@ -219,7 +222,7 @@ def _reduced_summary_words(p: PartEmbedding, connecting_set: set) -> int:
         rotation=p.rotation,  # skeleton construction never reads it
         depth=p.depth,
     )
-    sk_edges = interface_skeleton(reduced).graph.num_edges
+    sk_edges = interface_skeleton(reduced, decomposition=decomposition).graph.num_edges
     return 2 * sk_edges + len(participating) + runs + 1
 
 
@@ -236,8 +239,15 @@ def _skeleton_merge(
     owner: dict[NodeId, int] = {}
     connecting_keys = {frozenset(e) for e in connecting}
     for p in parts:
-        skeletons[p.part_id] = interface_skeleton(p)
-        result.up_words[p.part_id] = _reduced_summary_words(p, connecting_keys)
+        # One biconnected decomposition per part serves both its full
+        # skeleton and the reduced merge-relevant summary.
+        decomp = (
+            biconnected_components(p.graph) if len(p.attachments()) > 1 else None
+        )
+        skeletons[p.part_id] = interface_skeleton(p, decomposition=decomp)
+        result.up_words[p.part_id] = _reduced_summary_words(
+            p, connecting_keys, decomposition=decomp
+        )
         for v in p.graph.nodes():
             owner[v] = p.part_id
 
@@ -250,7 +260,7 @@ def _skeleton_merge(
             instance.add_edge(u, v)
     for u, x in connecting:
         instance.add_edge(u, x)
-    external_attachments = sorted({u for u, _ in new_boundary}, key=repr)
+    external_attachments = sorted({u for u, _ in new_boundary}, key=sort_key)
     if external_attachments:
         instance.add_node(_REST)
         for u in external_attachments:
@@ -265,7 +275,7 @@ def _skeleton_merge(
     for u, x in new_boundary:
         external_at.setdefault(u, []).append((u, x))
     for u in external_at:
-        external_at[u].sort(key=repr)
+        external_at[u].sort(key=sort_key)
 
     merged_order: dict[NodeId, tuple] = {}
     for p in parts:
@@ -286,13 +296,12 @@ def _skeleton_merge(
         realized = realize_boundary_order(p, prescribed)
         # Fold the realized rotations into the merged part, resolving
         # stubs of connecting edges into real neighbors.
-        connecting_set = {frozenset(e) for e in connecting}
         for v in p.graph.nodes():
             ring = []
             for nb in realized.order(v):
                 if is_stub(nb):
                     half = (nb[1], nb[2])
-                    if frozenset(half) in connecting_set:
+                    if frozenset(half) in connecting_keys:
                         ring.append(half[1])
                     else:
                         ring.append(nb)  # still external: keep the stub

@@ -100,13 +100,19 @@ def embed_with_boundary(graph: Graph, boundary: list[HalfEdge]) -> RotationSyste
             "part cannot be embedded with its half-embedded edges on one face"
         ) from exc
     if len(stubs) >= 2:
+        # Strip the rest vertex in place.  It was inserted last and each
+        # rest-stub dart sits at the back of its stub's adjacency dict, so
+        # deleting them leaves exactly the node and neighbor insertion
+        # order a fresh stub augmentation would produce — without paying
+        # for a second graph copy.
+        adj = augmented._adj
+        del adj[rest]
+        for s in stubs:
+            del adj[s][rest]
         order = {}
-        for v in augmented.nodes():
-            if v == rest:
-                continue
+        for v in adj:
             order[v] = tuple(u for u in rotation.order(v) if u != rest)
-        plain = augment_with_stubs(graph, boundary)
-        return RotationSystem(plain, order)
+        return RotationSystem.trusted(augmented, order)
     return rotation
 
 

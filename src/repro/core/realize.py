@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
+from ..planar.graph import sort_key
 from ..planar.lr_planarity import NonPlanarGraphError, planar_embedding
 from ..planar.rotation import RotationSystem
 from .parts import (
@@ -39,13 +40,18 @@ class RealizationError(RuntimeError):
 
 def cyclic_equal(a: Sequence, b: Sequence) -> bool:
     """True iff ``a`` and ``b`` are equal as cyclic sequences."""
-    if len(a) != len(b):
+    n = len(a)
+    if n != len(b):
         return False
-    if not a:
+    if n == 0:
         return True
     la, lb = list(a), list(b)
-    for shift in range(len(lb)):
-        if la == lb[shift:] + lb[:shift]:
+    doubled = lb + lb
+    first = la[0]
+    # Only shifts aligning b with a's first element can match; for
+    # boundary walks (distinct half-edges) that is a single candidate.
+    for i, x in enumerate(lb):
+        if x == first and doubled[i : i + n] == la:
             return True
     return False
 
@@ -60,7 +66,7 @@ def realize_boundary_order(
     interface (which, when the order came from a faithful skeleton,
     indicates a bug — the merge layer treats it as a fallback trigger).
     """
-    if sorted(prescribed, key=repr) != sorted(part.boundary, key=repr):
+    if sorted(prescribed, key=sort_key) != sorted(part.boundary, key=sort_key):
         raise ValueError("prescribed order is not a permutation of the boundary")
     m = len(prescribed)
     if m <= 2:
@@ -101,7 +107,7 @@ def realize_boundary_order(
         order[v] = tuple(ring)
     for half_edge in part.boundary:
         order[stub_node(half_edge)] = (half_edge[0],)
-    realized = RotationSystem(augmented, order)
+    realized = RotationSystem.trusted(augmented, order)
 
     # Chirality normalization: the gadget forces the order up to a global
     # mirror; make the boundary walk match ``prescribed`` exactly so that

@@ -19,18 +19,32 @@ call in :class:`CallRecord` for experiments E4/E5.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from ..congest.metrics import RoundMetrics
 from ..obs import Tracer, maybe_span
 from ..planar.graph import Graph, NodeId
+from ..planar.scoped import ScopedPlanarityOracle
 from ..primitives.bfs import BfsTree
 from ..primitives.splitter import find_splitter
 from ..primitives.subtree import compute_subtree_stats
+from .index import RecursionIndex
 from .parts import PartEmbedding, fresh_part
 from .unrestricted import UnrestrictedMergeStats, unrestricted_path_merge
 
-__all__ = ["CallRecord", "RecursionContext", "embed_subtree"]
+__all__ = ["CallRecord", "RecursionContext", "embed_subtree", "reference_paths_enabled"]
+
+
+def reference_paths_enabled() -> bool:
+    """True when ``REPRO_REFERENCE_PATHS`` selects the unoptimized paths.
+
+    The escape hatch disables the shared :class:`RecursionIndex` and the
+    scoped split-validation oracle, reverting to per-call subtree walks
+    and full-graph planarity tests.  The differential suite runs the
+    pipeline both ways and asserts bit-identical ledgers and rotations.
+    """
+    return os.environ.get("REPRO_REFERENCE_PATHS", "") not in ("", "0")
 
 
 @dataclass
@@ -60,13 +74,27 @@ class RecursionContext:
     split_rejections: int = 0
     splitter_strategy: str = "balanced"  # "balanced" (paper) | "root" (E12 ablation)
     tracer: Tracer | None = None  # span/event sink; None = zero instrumentation
+    reference_paths: bool | None = None  # None -> from REPRO_REFERENCE_PATHS
+    index: RecursionIndex | None = None  # shared subtree stats (optimized path)
+    oracle: ScopedPlanarityOracle | None = None  # scoped split validation
 
     def __post_init__(self) -> None:
         if self.current is None:
             self.current = self.graph.copy()
+        if self.reference_paths is None:
+            self.reference_paths = reference_paths_enabled()
+        if not self.reference_paths:
+            if self.index is None:
+                self.index = RecursionIndex.build(self.tree)
+            if self.oracle is None:
+                self.oracle = ScopedPlanarityOracle(self.current)
 
     def max_level(self) -> int:
         return max((r.level for r in self.trace), default=0)
+
+    def split_oracle_stats(self) -> dict[str, int] | None:
+        """Scoped-oracle counters, or ``None`` on the reference path."""
+        return self.oracle.stats() if self.oracle is not None else None
 
     def try_split(self, copy: NodeId, coordinator: NodeId, rerouted: list[NodeId]) -> bool:
         """Validate a step-2(e) split-off against the evolving network.
@@ -77,35 +105,56 @@ class RecursionContext:
         planar embedding keeps the bundle consecutive around the
         coordinator, which we decide by oracle-testing the modified
         graph (the paper's full version guarantees this by construction;
-        see DESIGN.md §3).  On success the modification is kept so later
-        splits are tested against the up-to-date network.
-        """
-        from ..planar.lr_planarity import lr_planarity
+        see DESIGN.md §3).  The oracle is scoped to the biconnected
+        components containing the copy whenever the evolving graph is
+        already known planar (:class:`ScopedPlanarityOracle`); with
+        ``REPRO_REFERENCE_PATHS=1`` every test runs on the full graph.
 
+        On success the modification is kept so later splits are tested
+        against the up-to-date network.  On rejection the graph is
+        restored *exactly* — including adjacency insertion order, which
+        downstream iteration depends on for determinism — from dict
+        snapshots of the touched vertices.
+        """
         g = self.current
+        adj = g._adj
+        # Snapshot every adjacency dict this split mutates, so rejection
+        # can restore iteration order exactly (re-adding edges would move
+        # them to the back of the neighbor dicts).
+        snapshot = {u: dict(adj[u]) for u in rerouted}
+        snapshot[coordinator] = dict(adj[coordinator])
         for u in rerouted:
             g.remove_edge(u, coordinator)
             g.add_edge(u, copy)
         g.add_edge(copy, coordinator)
         if len(rerouted) == 1:
-            return True
+            return True  # edge subdivision: planarity-invariant
         self.split_tests += 1
-        if lr_planarity(g) is not None:
+        if self.oracle is not None:
+            ok = self.oracle.check_rerouted(copy)
+        else:
+            from ..planar.lr_planarity import lr_planarity
+
+            ok = lr_planarity(g) is not None
+        if ok:
             return True
-        g.remove_edge(copy, coordinator)
-        for u in rerouted:
-            g.remove_edge(u, copy)
-            g.add_edge(u, coordinator)
-        g.remove_node(copy)
+        del adj[copy]
+        for u, neighbors in snapshot.items():
+            adj[u] = neighbors
         self.split_rejections += 1
         return False
 
 
-def _external_boundary(ctx: RecursionContext, vertices: set[NodeId]) -> list:
+def _external_boundary(
+    ctx: RecursionContext, members: set[NodeId], ordered: list[NodeId]
+) -> list:
+    """Half-embedded edges from ``members`` (iterated in canonical order)
+    toward the rest of the network."""
     boundary = []
-    for u in sorted(vertices, key=repr):
-        for x in ctx.graph.neighbors(u):
-            if x not in vertices:
+    graph_adj = ctx.graph._adj
+    for u in ordered:
+        for x in graph_adj[u]:
+            if x not in members:
                 boundary.append((u, x))
     return boundary
 
@@ -130,10 +179,15 @@ def embed_subtree(
     metrics = RoundMetrics()
     if tracer is not None:
         metrics.observer = tracer
-    vertices = ctx.tree.subtree_nodes(s)
-    if len(vertices) == 1:
+    index = ctx.index
+    if index is not None:
+        size = index.subtree_size(s)
+    else:
+        vertices = ctx.tree.subtree_nodes(s)
+        size = len(vertices)
+    if size == 1:
         part = fresh_part(
-            Graph(nodes=[s]), _external_boundary(ctx, vertices), depth=0
+            Graph(nodes=[s]), _external_boundary(ctx, {s}, [s]), depth=0
         )
         ctx.trace.append(
             CallRecord(level, s, 1, 0, 0, s, part_sizes=[])
@@ -147,17 +201,36 @@ def embed_subtree(
 
     with maybe_span(
         tracer, "call", kind="call", parallel=True,
-        root=s, level=level, size=len(vertices),
+        root=s, level=level, size=size,
     ) as call_span:
         # --- partition phase: real distributed subtree stats + token walk. --
-        tree_graph = Graph(nodes=sorted(vertices, key=repr))
+        if index is not None:
+            ordered = index.sort(index.subtree_span(s))
+            members = set(ordered)
+        else:
+            ordered = sorted(vertices, key=repr)
+            members = vertices
+        tree_graph = Graph(nodes=ordered)
+        tree_parent = ctx.tree.parent
+        tree_children = ctx.tree.children
         parent: dict[NodeId, NodeId | None] = {}
         children: dict[NodeId, list[NodeId]] = {}
-        for v in tree_graph.nodes():
-            parent[v] = ctx.tree.parent[v] if v != s else None
-            children[v] = list(ctx.tree.children[v])
-            if parent[v] is not None:
-                tree_graph.add_edge(v, parent[v])
+        if index is not None:
+            # The convergecast/walk programs copy or only read child
+            # lists, so the shared index path threads them by reference.
+            for v in ordered:
+                p = tree_parent[v] if v != s else None
+                parent[v] = p
+                children[v] = tree_children[v]
+                if p is not None:
+                    tree_graph.add_edge(v, p)
+        else:
+            for v in ordered:
+                p = tree_parent[v] if v != s else None
+                parent[v] = p
+                children[v] = list(tree_children[v])
+                if p is not None:
+                    tree_graph.add_edge(v, p)
         with maybe_span(tracer, "partition", kind="phase"):
             stats = compute_subtree_stats(tree_graph, parent, children, metrics=metrics)
             if ctx.splitter_strategy == "balanced":
@@ -177,12 +250,13 @@ def embed_subtree(
                     root=s,
                     splitter=splitter,
                     strategy=ctx.splitter_strategy,
-                    subtree_size=len(vertices),
+                    subtree_size=size,
                 )
         p0_order = ctx.tree.path_to_descendant(s, splitter)
         p0_set = set(p0_order)
-        hanging_roots = sorted(
-            {c for v in p0_order for c in children[v] if c not in p0_set}, key=repr
+        hanging = {c for v in p0_order for c in children[v] if c not in p0_set}
+        hanging_roots = (
+            index.sort(hanging) if index is not None else sorted(hanging, key=repr)
         )
 
         # --- parallel recursion on the hanging subtrees. ---------------------
@@ -198,8 +272,13 @@ def embed_subtree(
         p0_graph = Graph(nodes=p0_order)
         for a, b in zip(p0_order, p0_order[1:]):
             p0_graph.add_edge(a, b)
+        p0_sorted = (
+            index.sort(p0_set) if index is not None else sorted(p0_set, key=repr)
+        )
         p0_part = fresh_part(
-            p0_graph, _external_boundary(ctx, p0_set), depth=max(len(p0_order) - 1, 0)
+            p0_graph,
+            _external_boundary(ctx, p0_set, p0_sorted),
+            depth=max(len(p0_order) - 1, 0),
         )
         with maybe_span(
             tracer, "merge", kind="merge",
@@ -225,8 +304,11 @@ def embed_subtree(
         CallRecord(
             level=level,
             root=s,
-            subtree_size=len(vertices),
-            subtree_depth=ctx.tree.subtree_depth(s),
+            subtree_size=size,
+            subtree_depth=(
+                index.subtree_depth(s) if index is not None
+                else ctx.tree.subtree_depth(s)
+            ),
             p0_length=len(p0_order),
             splitter=splitter,
             part_sizes=sorted((stats.size[w] for w in hanging_roots), reverse=True),

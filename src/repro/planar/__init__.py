@@ -17,9 +17,16 @@ from .biconnected import (
     biconnected_components,
 )
 from .dual import DualGraph, dual_graph
-from .graph import EdgeId, Graph, GraphError, NodeId, edge_id
+from .graph import EdgeId, Graph, GraphError, NodeId, edge_id, sort_key
 from .kuratowski import classify_kuratowski, kuratowski_subgraph
-from .lr_planarity import NonPlanarGraphError, is_planar, lr_planarity, planar_embedding
+from .lr_planarity import (
+    NonPlanarGraphError,
+    is_planar,
+    lr_is_planar,
+    lr_planarity,
+    planar_embedding,
+)
+from .scoped import ScopedPlanarityOracle
 from .outerplanar import is_outerplanar, outer_face_order, outerplanar_embedding
 from .rotation import (
     RotationError,
@@ -42,6 +49,7 @@ __all__ = [
     "NodeId",
     "EdgeId",
     "edge_id",
+    "sort_key",
     "RotationSystem",
     "RotationError",
     "trace_faces",
@@ -49,9 +57,11 @@ __all__ = [
     "contracted_rotation",
     "rotation_from_positions",
     "lr_planarity",
+    "lr_is_planar",
     "planar_embedding",
     "is_planar",
     "NonPlanarGraphError",
+    "ScopedPlanarityOracle",
     "BiconnectedComponent",
     "BiconnectedDecomposition",
     "BlockCutTree",

@@ -22,11 +22,38 @@ from typing import TypeAlias
 NodeId: TypeAlias = Hashable
 EdgeId: TypeAlias = tuple
 
-__all__ = ["Graph", "NodeId", "EdgeId", "edge_id", "GraphError"]
+__all__ = ["Graph", "NodeId", "EdgeId", "edge_id", "sort_key", "GraphError"]
 
 
 class GraphError(ValueError):
     """Raised on structurally invalid graph operations."""
+
+
+_SORT_KEY_CACHE: dict = {}
+_SORT_KEY_MAX_ENTRIES = 1 << 16
+
+
+def sort_key(node: NodeId) -> str:
+    """Canonical deterministic ordering key for nodes: cached ``repr``.
+
+    ``sorted(nodes, key=sort_key)`` produces exactly the same order as
+    ``sorted(nodes, key=repr)`` — the library-wide convention for
+    ordering mixed real/pseudo vertices — but amortizes the string
+    construction, which dominates the cost on the wrapped ``("v", id)``
+    tuples used throughout the pipeline.  The cache is bounded (cleared
+    when full, like :class:`~repro.congest.message.PayloadMeter`) and
+    falls back to an uncached ``repr`` for unhashable nodes.
+    """
+    try:
+        key = _SORT_KEY_CACHE.get(node)
+    except TypeError:  # unhashable node: measure directly
+        return repr(node)
+    if key is None:
+        key = repr(node)
+        if len(_SORT_KEY_CACHE) >= _SORT_KEY_MAX_ENTRIES:
+            _SORT_KEY_CACHE.clear()
+        _SORT_KEY_CACHE[node] = key
+    return key
 
 
 def edge_id(u: NodeId, v: NodeId) -> EdgeId:

@@ -24,6 +24,18 @@ interpreter's recursion limit embed fine.  The test-suite cross-validates
 this module against ``networkx.check_planarity`` on thousands of random
 graphs; inside the library it is the *only* planarity kernel.
 
+Internally the input is relabeled to integers ``0..n-1`` in node
+insertion order and a directed edge ``(v, w)`` is encoded as the integer
+``v * n + w``, so every per-edge map is keyed by small ints instead of
+tuples of (often nested-tuple) node identifiers.  The relabeling is
+order-preserving — adjacency lists keep their insertion order, and the
+nesting-depth sorts are stable — so the emitted rotation system is
+exactly the one the algorithm would produce on the original labels.
+
+Callers that only need the verdict (e.g. the scoped split-validation
+oracle) can use :func:`lr_is_planar`, which runs the orientation and
+testing passes and skips the embedding phase entirely.
+
 CONGEST context: nodes have unbounded local computation, so the
 distributed algorithm's coordinators may run this kernel locally on the
 (small, summarized) instances they gather; see ``repro.core.merges``.
@@ -37,6 +49,7 @@ from .rotation import RotationSystem
 __all__ = [
     "NonPlanarGraphError",
     "lr_planarity",
+    "lr_is_planar",
     "planar_embedding",
     "is_planar",
 ]
@@ -46,9 +59,50 @@ class NonPlanarGraphError(ValueError):
     """Raised when an embedding is requested for a non-planar graph."""
 
 
+# Structural memoization: the solver relabels nodes to ``0..n-1`` in
+# insertion order, and every pass afterwards is a pure function of the
+# relabeled adjacency structure ``tuple(tuple(ints), ...)``.  Two graphs
+# with the same structure therefore get the same verdict and the same
+# int-level rotations — only the final int->node mapping differs.  The
+# recursion embeds thousands of small parts (leaf stars, short paths,
+# repeated realization gadgets) that collide on structure constantly, so
+# both the verdict and the embedding are cached per structure.  Caches
+# are cleared wholesale when full, like ``interface._BLOCK_ORDER_MEMO``.
+_MEMO_MISS = object()
+_DECIDE_MEMO: dict[tuple, bool] = {}
+_EMBED_MEMO: dict[tuple, tuple[tuple[int, ...], ...] | None] = {}
+_MEMO_MAX_ENTRIES = 1 << 12
+
+
+def _memo_decide(graph: Graph) -> bool:
+    solver = _LRPlanarity(graph)
+    key = tuple(map(tuple, solver.adj))
+    verdict = _DECIDE_MEMO.get(key)
+    if verdict is None:
+        embedded = _EMBED_MEMO.get(key, _MEMO_MISS)
+        if embedded is not _MEMO_MISS:
+            verdict = embedded is not None
+        else:
+            verdict = solver.decide()
+        if len(_DECIDE_MEMO) >= _MEMO_MAX_ENTRIES:
+            _DECIDE_MEMO.clear()
+        _DECIDE_MEMO[key] = verdict
+    return verdict
+
+
 def is_planar(graph: Graph) -> bool:
-    """True iff ``graph`` is planar."""
-    return lr_planarity(graph) is not None
+    """True iff ``graph`` is planar (decision only; no embedding built)."""
+    return _memo_decide(graph)
+
+
+def lr_is_planar(graph: Graph) -> bool:
+    """Decision-only left-right test: orientation + testing passes.
+
+    Identical verdict to ``lr_planarity(graph) is not None`` (the
+    embedding pass never changes the outcome) at roughly two thirds of
+    the cost; use it wherever the rotation system itself is not needed.
+    """
+    return _memo_decide(graph)
 
 
 def planar_embedding(graph: Graph) -> RotationSystem:
@@ -66,7 +120,21 @@ def planar_embedding(graph: Graph) -> RotationSystem:
 
 def lr_planarity(graph: Graph) -> RotationSystem | None:
     """Left-right planarity test; a rotation system, or ``None`` if non-planar."""
-    return _LRPlanarity(graph).run()
+    solver = _LRPlanarity(graph)
+    key = tuple(map(tuple, solver.adj))
+    rings = _EMBED_MEMO.get(key, _MEMO_MISS)
+    if rings is _MEMO_MISS:
+        rings = solver.int_rotations()
+        if len(_EMBED_MEMO) >= _MEMO_MAX_ENTRIES:
+            _EMBED_MEMO.clear()
+        _EMBED_MEMO[key] = rings
+    if rings is None:
+        return None
+    nodes = solver.nodes
+    order = {
+        nodes[v]: tuple(nodes[w] for w in ring) for v, ring in enumerate(rings)
+    }
+    return RotationSystem.trusted(graph, order)
 
 
 class _Interval:
@@ -110,19 +178,17 @@ def _top(stack: list) -> _ConflictPair | None:
 
 
 class _EmbeddingBuilder:
-    """Half-edge rings under construction: per-vertex circular cw lists."""
+    """Half-edge rings under construction: per-vertex circular cw lists.
+
+    Vertices are the relabeled integers ``0..n-1``.
+    """
 
     __slots__ = ("next_cw", "next_ccw", "first")
 
-    def __init__(self) -> None:
-        self.next_cw: dict[NodeId, dict[NodeId, NodeId]] = {}
-        self.next_ccw: dict[NodeId, dict[NodeId, NodeId]] = {}
-        self.first: dict[NodeId, NodeId | None] = {}
-
-    def add_node(self, v: NodeId) -> None:
-        self.next_cw.setdefault(v, {})
-        self.next_ccw.setdefault(v, {})
-        self.first.setdefault(v, None)
+    def __init__(self, n: int) -> None:
+        self.next_cw: list[dict[int, int]] = [{} for _ in range(n)]
+        self.next_ccw: list[dict[int, int]] = [{} for _ in range(n)]
+        self.first: list[int | None] = [None] * n
 
     def _add_lonely(self, v: NodeId, w: NodeId) -> None:
         self.next_cw[v][w] = w
@@ -167,144 +233,212 @@ class _EmbeddingBuilder:
 
 
 class _LRPlanarity:
-    """State machine for one left-right planarity run."""
+    """State machine for one left-right planarity run.
+
+    Works on the integer relabeling described in the module docstring:
+    vertex ``i`` is ``graph.nodes()[i]`` and the directed edge
+    ``(v, w)`` is the int ``v * n + w``.  Node-indexed state lives in
+    flat lists; edge-indexed state in int-keyed dicts.
+    """
 
     def __init__(self, graph: Graph) -> None:
         self.graph = graph
-        self.roots: list[NodeId] = []
-        self.height: dict[NodeId, int | None] = {v: None for v in graph.nodes()}
-        # Per *directed* edge (tuples (u, v)):
-        self.lowpt: dict[tuple, int] = {}
-        self.lowpt2: dict[tuple, int] = {}
-        self.nesting_depth: dict[tuple, int] = {}
-        self.parent_edge: dict[NodeId, tuple | None] = {v: None for v in graph.nodes()}
-        self.oriented: set[tuple] = set()
-        self.out_adj: dict[NodeId, list[NodeId]] = {v: [] for v in graph.nodes()}
-        self.ordered_adjs: dict[NodeId, list[NodeId]] = {}
-        self.ref: dict[tuple, tuple | None] = {}
-        self.side: dict[tuple, int] = {}
+        nodes = graph.nodes()
+        n = len(nodes)
+        self.nodes = nodes
+        self.n = n
+        index = {u: i for i, u in enumerate(nodes)}
+        self.adj: list[list[int]] = [
+            [index[w] for w in graph._adj[u]] for u in nodes
+        ]
+        self.roots: list[int] = []
+        self.height: list[int | None] = [None] * n
+        self.parent_edge: list[int | None] = [None] * n
+        # Per *directed* edge (int codes v * n + w):
+        self.lowpt: dict[int, int] = {}
+        self.lowpt2: dict[int, int] = {}
+        self.nesting_depth: dict[int, int] = {}
+        self.oriented: set[int] = set()
+        self.out_adj: list[list[int]] = [[] for _ in range(n)]
+        self.ordered_adjs: list[list[int]] = [[] for _ in range(n)]
+        self.ref: dict[int, int | None] = {}
+        self.side: dict[int, int] = {}
         self.S: list[_ConflictPair] = []
-        self.stack_bottom: dict[tuple, _ConflictPair | None] = {}
-        self.lowpt_edge: dict[tuple, tuple] = {}
-        self.left_ref: dict[NodeId, NodeId] = {}
-        self.right_ref: dict[NodeId, NodeId] = {}
-        self.embedding = _EmbeddingBuilder()
+        self.stack_bottom: dict[int, _ConflictPair | None] = {}
+        self.lowpt_edge: dict[int, int] = {}
 
-    def run(self) -> RotationSystem | None:
+    def _ordered_out_adj(self, v: int) -> list[int]:
+        """``out_adj[v]`` stably sorted by nesting depth (cheap int keys)."""
+        base = v * self.n
+        nesting_depth = self.nesting_depth
+        decorated = sorted(
+            (nesting_depth[base + w], i, w) for i, w in enumerate(self.out_adj[v])
+        )
+        return [w for _, _, w in decorated]
+
+    def decide(self) -> bool:
+        """Passes 1 + 2 only: True iff the graph is planar."""
         graph = self.graph
-        n = graph.num_nodes
+        n = self.n
         if n > 2 and graph.num_edges > 3 * n - 6:
-            return None  # violates the planar edge bound
+            return False  # violates the planar edge bound
 
         # Pass 1: orientation.
-        for v in graph.nodes():
+        for v in range(n):
             if self.height[v] is None:
                 self.height[v] = 0
                 self.roots.append(v)
                 self._dfs_orientation(v)
 
         # Pass 2: testing.
-        for v in graph.nodes():
-            self.ordered_adjs[v] = sorted(
-                self.out_adj[v], key=lambda w: self.nesting_depth[(v, w)]
-            )
+        for v in range(n):
+            self.ordered_adjs[v] = self._ordered_out_adj(v)
         for root in self.roots:
             if not self._dfs_testing(root):
-                return None
+                return False
+        return True
+
+    def run(self) -> RotationSystem | None:
+        rings = self.int_rotations()
+        if rings is None:
+            return None
+        nodes = self.nodes
+        order = {
+            nodes[v]: tuple(nodes[w] for w in ring)
+            for v, ring in enumerate(rings)
+        }
+        return RotationSystem.trusted(self.graph, order)
+
+    def int_rotations(self) -> tuple[tuple[int, ...], ...] | None:
+        """Per-vertex clockwise rings over the int relabeling (or None).
+
+        This is the whole algorithm minus the final int->node mapping; a
+        pure function of ``self.adj``, which is what makes the module's
+        structural memo sound.
+        """
+        if not self.decide():
+            return None
 
         # Pass 3: embedding.
-        for v in graph.nodes():
+        n = self.n
+        nesting_depth = self.nesting_depth
+        sign = self._sign
+        for v in range(n):
+            base = v * n
             for w in self.out_adj[v]:
-                e = (v, w)
-                self.nesting_depth[e] = self._sign(e) * self.nesting_depth[e]
-        for v in graph.nodes():
-            self.embedding.add_node(v)
-            self.ordered_adjs[v] = sorted(
-                self.out_adj[v], key=lambda w: self.nesting_depth[(v, w)]
-            )
+                e = base + w
+                nesting_depth[e] = sign(e) * nesting_depth[e]
+        embedding = self.embedding = _EmbeddingBuilder(n)
+        add_half_edge_cw = embedding.add_half_edge_cw
+        for v in range(n):
+            ordered = self._ordered_out_adj(v)
+            self.ordered_adjs[v] = ordered
             previous = None
-            for w in self.ordered_adjs[v]:
-                self.embedding.add_half_edge_cw(v, w, previous)
+            for w in ordered:
+                add_half_edge_cw(v, w, previous)
                 previous = w
+        self.left_ref: list[int | None] = [None] * n
+        self.right_ref: list[int | None] = [None] * n
         for root in self.roots:
             self._dfs_embedding(root)
 
-        order = {v: self.embedding.rotation_of(v) for v in graph.nodes()}
-        return RotationSystem(graph, order)
+        return tuple(embedding.rotation_of(v) for v in range(n))
 
     # -- pass 1 -----------------------------------------------------------
 
-    def _dfs_orientation(self, start: NodeId) -> None:
+    def _dfs_orientation(self, start: int) -> None:
+        n = self.n
+        height = self.height
+        parent_edge = self.parent_edge
+        lowpt = self.lowpt
+        lowpt2 = self.lowpt2
+        nesting_depth = self.nesting_depth
+        oriented = self.oriented
+        out_adj = self.out_adj
+        ref = self.ref
+        side = self.side
+        adj = self.adj
         dfs_stack = [start]
-        ind: dict[NodeId, int] = {}
-        skip_init: set[tuple] = set()
+        ind: dict[int, int] = {}
+        skip_init: set[int] = set()
 
         while dfs_stack:
             v = dfs_stack.pop()
-            e = self.parent_edge[v]
-            adjacency = self.graph.neighbors(v)
+            e = parent_edge[v]
+            adjacency = adj[v]
+            base = v * n
+            hv = height[v]
             descend = False
             i = ind.get(v, 0)
             while i < len(adjacency):
                 w = adjacency[i]
-                vw = (v, w)
+                vw = base + w
                 if vw not in skip_init:
-                    if vw in self.oriented or (w, v) in self.oriented:
+                    if vw in oriented or w * n + v in oriented:
                         i += 1
                         continue
-                    self.oriented.add(vw)
-                    self.out_adj[v].append(w)
-                    self.ref[vw] = None
-                    self.side[vw] = 1
-                    self.lowpt[vw] = self.height[v]
-                    self.lowpt2[vw] = self.height[v]
-                    if self.height[w] is None:  # tree edge
-                        self.parent_edge[w] = vw
-                        self.height[w] = self.height[v] + 1
+                    oriented.add(vw)
+                    out_adj[v].append(w)
+                    ref[vw] = None
+                    side[vw] = 1
+                    lowpt[vw] = hv
+                    lowpt2[vw] = hv
+                    if height[w] is None:  # tree edge
+                        parent_edge[w] = vw
+                        height[w] = hv + 1
                         ind[v] = i
                         dfs_stack.append(v)  # resume v afterwards
                         dfs_stack.append(w)
                         skip_init.add(vw)
                         descend = True
                         break
-                    self.lowpt[vw] = self.height[w]  # back edge
+                    lowpt[vw] = height[w]  # back edge
 
                 # nesting depth: twice the lowpoint, +1 if chordal
-                self.nesting_depth[vw] = 2 * self.lowpt[vw]
-                if self.lowpt2[vw] < self.height[v]:
-                    self.nesting_depth[vw] += 1
+                nesting_depth[vw] = 2 * lowpt[vw] + (1 if lowpt2[vw] < hv else 0)
 
                 if e is not None:  # fold lowpoints into the parent edge
-                    if self.lowpt[vw] < self.lowpt[e]:
-                        self.lowpt2[e] = min(self.lowpt[e], self.lowpt2[vw])
-                        self.lowpt[e] = self.lowpt[vw]
-                    elif self.lowpt[vw] > self.lowpt[e]:
-                        self.lowpt2[e] = min(self.lowpt2[e], self.lowpt[vw])
+                    lw = lowpt[vw]
+                    le = lowpt[e]
+                    if lw < le:
+                        lowpt2[e] = min(le, lowpt2[vw])
+                        lowpt[e] = lw
+                    elif lw > le:
+                        lowpt2[e] = min(lowpt2[e], lw)
                     else:
-                        self.lowpt2[e] = min(self.lowpt2[e], self.lowpt2[vw])
+                        lowpt2[e] = min(lowpt2[e], lowpt2[vw])
                 i += 1
             if not descend:
                 ind[v] = i
 
     # -- pass 2 -----------------------------------------------------------
 
-    def _dfs_testing(self, start: NodeId) -> bool:
+    def _dfs_testing(self, start: int) -> bool:
+        n = self.n
+        height = self.height
+        parent_edge = self.parent_edge
+        lowpt = self.lowpt
+        lowpt_edge = self.lowpt_edge
+        stack_bottom = self.stack_bottom
+        S = self.S
         dfs_stack = [start]
-        ind: dict[NodeId, int] = {}
-        skip_init: set[tuple] = set()
+        ind: dict[int, int] = {}
+        skip_init: set[int] = set()
 
         while dfs_stack:
             v = dfs_stack.pop()
-            e = self.parent_edge[v]
+            e = parent_edge[v]
             adjacency = self.ordered_adjs[v]
+            base = v * n
+            hv = height[v]
             descend = False
             i = ind.get(v, 0)
             while i < len(adjacency):
                 w = adjacency[i]
-                ei = (v, w)
+                ei = base + w
                 if ei not in skip_init:
-                    self.stack_bottom[ei] = _top(self.S)
-                    if ei == self.parent_edge[w]:  # tree edge: recurse first
+                    stack_bottom[ei] = S[-1] if S else None
+                    if ei == parent_edge[w]:  # tree edge: recurse first
                         ind[v] = i
                         dfs_stack.append(v)
                         dfs_stack.append(w)
@@ -312,13 +446,13 @@ class _LRPlanarity:
                         descend = True
                         break
                     # back edge: its own one-element right interval
-                    self.lowpt_edge[ei] = ei
-                    self.S.append(_ConflictPair(right=_Interval(ei, ei)))
+                    lowpt_edge[ei] = ei
+                    S.append(_ConflictPair(right=_Interval(ei, ei)))
 
                 # integrate the return edges contributed by ei
-                if self.lowpt[ei] < self.height[v]:
+                if lowpt[ei] < hv:
                     if w == adjacency[0]:
-                        self.lowpt_edge[e] = self.lowpt_edge[ei]
+                        lowpt_edge[e] = lowpt_edge[ei]
                     elif not self._add_constraints(ei, e):
                         return False  # forced same-side conflict: non-planar
                 i += 1
@@ -329,65 +463,103 @@ class _LRPlanarity:
                 self._remove_back_edges(e)
         return True
 
-    def _conflicting(self, interval: _Interval, b: tuple) -> bool:
+    def _conflicting(self, interval: _Interval, b: int) -> bool:
         return not interval.empty() and self.lowpt[interval.high] > self.lowpt[b]
 
-    def _add_constraints(self, ei: tuple, e: tuple) -> bool:
+    def _add_constraints(self, ei: int, e: int) -> bool:
+        # Interval emptiness / conflict checks are inlined attribute tests
+        # here (this is the innermost loop of the testing pass).
+        lowpt = self.lowpt
+        ref = self.ref
+        S = self.S
         P = _ConflictPair()
+        PL = P.left
+        PR = P.right
+        lp_e = lowpt[e]
+        lp_ei = lowpt[ei]
+        bottom = self.stack_bottom[ei]
         # merge return edges of ei into P.right
         while True:
-            Q = self.S.pop()
-            if not Q.left.empty():
+            Q = S.pop()
+            QL = Q.left
+            if QL.low is not None or QL.high is not None:
                 Q.swap()
-            if not Q.left.empty():
-                return False
-            if self.lowpt[Q.right.low] > self.lowpt[e]:
-                if P.right.empty():
-                    P.right.high = Q.right.high
+                QL = Q.left
+                if QL.low is not None or QL.high is not None:
+                    return False
+            QR = Q.right
+            if lowpt[QR.low] > lp_e:
+                if PR.low is None and PR.high is None:
+                    PR.high = QR.high
                 else:
-                    self.ref[P.right.low] = Q.right.high
-                P.right.low = Q.right.low
+                    ref[PR.low] = QR.high
+                PR.low = QR.low
             else:  # align with the parent's lowpoint edge
-                self.ref[Q.right.low] = self.lowpt_edge[e]
-            if _top(self.S) is self.stack_bottom[ei]:
+                ref[QR.low] = self.lowpt_edge[e]
+            if (S[-1] if S else None) is bottom:
                 break
         # merge conflicting return edges of earlier siblings into P.left
-        while self._conflicting(_top(self.S).left, ei) or self._conflicting(
-            _top(self.S).right, ei
-        ):
-            Q = self.S.pop()
-            if self._conflicting(Q.right, ei):
+        while True:
+            top = S[-1]
+            TL = top.left
+            TR = top.right
+            if not (
+                (TL.high is not None and lowpt[TL.high] > lp_ei)
+                or (TR.high is not None and lowpt[TR.high] > lp_ei)
+            ):
+                break
+            Q = S.pop()
+            QR = Q.right
+            if QR.high is not None and lowpt[QR.high] > lp_ei:
                 Q.swap()
-            if self._conflicting(Q.right, ei):
-                return False
-            self.ref[P.right.low] = Q.right.high
-            if Q.right.low is not None:
-                P.right.low = Q.right.low
-            if P.left.empty():
-                P.left.high = Q.left.high
+                QR = Q.right
+                if QR.high is not None and lowpt[QR.high] > lp_ei:
+                    return False
+            QL = Q.left
+            ref[PR.low] = QR.high
+            if QR.low is not None:
+                PR.low = QR.low
+            if PL.low is None and PL.high is None:
+                PL.high = QL.high
             else:
-                self.ref[P.left.low] = Q.left.high
-            P.left.low = Q.left.low
-        if not (P.left.empty() and P.right.empty()):
-            self.S.append(P)
+                ref[PL.low] = QL.high
+            PL.low = QL.low
+        if not (PL.low is None and PL.high is None and PR.low is None and PR.high is None):
+            S.append(P)
         return True
 
-    def _remove_back_edges(self, e: tuple) -> None:
-        u = e[0]
+    def _remove_back_edges(self, e: int) -> None:
+        n = self.n
+        u = e // n
+        hu = self.height[u]
+        lowpt = self.lowpt
+        S = self.S
         # drop entire conflict pairs whose lowest return point is u
-        while self.S and _top(self.S).lowest(self) == self.height[u]:
-            P = self.S.pop()
+        while S:
+            top = S[-1]
+            L = top.left
+            if L.low is None and L.high is None:
+                lowest = lowpt[top.right.low]
+            else:
+                R = top.right
+                if R.low is None and R.high is None:
+                    lowest = lowpt[L.low]
+                else:
+                    lowest = min(lowpt[L.low], lowpt[R.low])
+            if lowest != hu:
+                break
+            P = S.pop()
             if P.left.low is not None:
                 self.side[P.left.low] = -1
         if self.S:  # one more pair may need trimming
             P = self.S.pop()
-            while P.left.high is not None and P.left.high[1] == u:
+            while P.left.high is not None and P.left.high % n == u:
                 P.left.high = self.ref[P.left.high]
             if P.left.high is None and P.left.low is not None:
                 self.ref[P.left.low] = P.right.low
                 self.side[P.left.low] = -1
                 P.left.low = None
-            while P.right.high is not None and P.right.high[1] == u:
+            while P.right.high is not None and P.right.high % n == u:
                 P.right.high = self.ref[P.right.high]
             if P.right.high is None and P.right.low is not None:
                 self.ref[P.right.low] = P.left.low
@@ -395,7 +567,7 @@ class _LRPlanarity:
                 P.right.low = None
             self.S.append(P)
         # the side of e follows the side of its highest return edge
-        if self.lowpt[e] < self.height[u]:
+        if self.lowpt[e] < hu:
             top = _top(self.S)
             hl = top.left.high
             hr = top.right.high
@@ -406,46 +578,56 @@ class _LRPlanarity:
 
     # -- pass 3 -----------------------------------------------------------
 
-    def _sign(self, e: tuple) -> int:
+    def _sign(self, e: int) -> int:
         """Resolve the absolute side of ``e`` along its ``ref`` chain."""
+        ref = self.ref
+        side = self.side
         dfs_stack = [e]
-        old_ref: dict[tuple, tuple] = {}
+        old_ref: dict[int, int] = {}
         while dfs_stack:
             cur = dfs_stack.pop()
-            if self.ref[cur] is not None:
+            nxt = ref[cur]
+            if nxt is not None:
                 dfs_stack.append(cur)
-                dfs_stack.append(self.ref[cur])
-                old_ref[cur] = self.ref[cur]
-                self.ref[cur] = None
+                dfs_stack.append(nxt)
+                old_ref[cur] = nxt
+                ref[cur] = None
             elif cur in old_ref:
-                self.side[cur] *= self.side[old_ref[cur]]
-        return self.side[e]
+                side[cur] *= side[old_ref[cur]]
+        return side[e]
 
-    def _dfs_embedding(self, start: NodeId) -> None:
+    def _dfs_embedding(self, start: int) -> None:
+        n = self.n
+        parent_edge = self.parent_edge
+        side = self.side
+        embedding = self.embedding
+        left_ref = self.left_ref
+        right_ref = self.right_ref
         dfs_stack = [start]
-        ind: dict[NodeId, int] = {}
+        ind: dict[int, int] = {}
 
         while dfs_stack:
             v = dfs_stack.pop()
             adjacency = self.ordered_adjs[v]
+            base = v * n
             i = ind.get(v, 0)
             while i < len(adjacency):
                 w = adjacency[i]
                 i += 1
-                ei = (v, w)
-                if ei == self.parent_edge[w]:  # tree edge
-                    self.embedding.add_half_edge_first(w, v)
-                    self.left_ref[v] = w
-                    self.right_ref[v] = w
+                ei = base + w
+                if ei == parent_edge[w]:  # tree edge
+                    embedding.add_half_edge_first(w, v)
+                    left_ref[v] = w
+                    right_ref[v] = w
                     ind[v] = i
                     dfs_stack.append(v)
                     dfs_stack.append(w)
                     break
                 # back edge: splice next to the reference half-edge at w
-                if self.side[ei] == 1:
-                    self.embedding.add_half_edge_cw(w, v, self.right_ref[w])
+                if side[ei] == 1:
+                    embedding.add_half_edge_cw(w, v, right_ref[w])
                 else:
-                    self.embedding.add_half_edge_ccw(w, v, self.left_ref[w])
-                    self.left_ref[w] = v
+                    embedding.add_half_edge_ccw(w, v, left_ref[w])
+                    left_ref[w] = v
             else:
                 ind[v] = i

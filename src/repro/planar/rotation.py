@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping, Sequence
 
-from .graph import Graph, NodeId
+from .graph import Graph, NodeId, sort_key
 
 __all__ = [
     "RotationSystem",
@@ -40,22 +40,47 @@ class RotationSystem:
     def __init__(self, graph: Graph, order: Mapping[NodeId, Sequence[NodeId]]) -> None:
         self.graph = graph
         self._order: dict[NodeId, tuple[NodeId, ...]] = {}
+        # Per-vertex neighbor->index maps, built lazily on the first
+        # next_after/prev_before query at that vertex: many rotation
+        # systems are constructed only to be merged or snapshotted and
+        # never traced.
         self._position: dict[NodeId, dict[NodeId, int]] = {}
-        for v in graph.nodes():
+        adj = graph._adj
+        _order = self._order
+        for v, neighbors in adj.items():
             if v not in order:
                 raise RotationError(f"missing rotation for vertex {v!r}")
             ring = tuple(order[v])
-            expected = set(graph.neighbors(v))
-            if len(ring) != len(expected) or set(ring) != expected:
+            if len(ring) != len(neighbors) or set(ring) != neighbors.keys():
                 raise RotationError(
                     f"rotation at {v!r} must be a permutation of its "
-                    f"{len(expected)} neighbors; got {ring!r}"
+                    f"{len(neighbors)} neighbors; got {ring!r}"
                 )
-            self._order[v] = ring
-            self._position[v] = {u: i for i, u in enumerate(ring)}
-        extra = set(order) - set(graph.nodes())
-        if extra:
-            raise RotationError(f"rotations for unknown vertices: {sorted(extra, key=repr)}")
+            _order[v] = ring
+        if len(order) != len(adj):
+            extra = set(order) - adj.keys()
+            if extra:
+                raise RotationError(
+                    f"rotations for unknown vertices: {sorted(extra, key=repr)}"
+                )
+
+    @classmethod
+    def trusted(
+        cls, graph: Graph, order: Mapping[NodeId, Sequence[NodeId]]
+    ) -> "RotationSystem":
+        """Construct without permutation validation.
+
+        For orders that are permutations of the neighbor sets *by
+        construction* — the LR kernel's output, mirroring an existing
+        rotation, filtering a vertex out of one — where re-validating
+        every ring is pure overhead.  ``order`` must cover exactly the
+        graph's vertices and its values must be tuples.
+        """
+        self = cls.__new__(cls)
+        self.graph = graph
+        self._order = dict(order)
+        self._position = {}
+        return self
 
     # -- basic access ------------------------------------------------------
 
@@ -67,16 +92,22 @@ class RotationSystem:
         """A plain-dict snapshot of all rotations."""
         return dict(self._order)
 
+    def _pos(self, v: NodeId) -> dict[NodeId, int]:
+        pos = self._position.get(v)
+        if pos is None:
+            pos = self._position[v] = {u: i for i, u in enumerate(self._order[v])}
+        return pos
+
     def next_after(self, v: NodeId, u: NodeId) -> NodeId:
         """The neighbor clockwise-after ``u`` around ``v``."""
         ring = self._order[v]
-        i = self._position[v][u]
+        i = self._pos(v)[u]
         return ring[(i + 1) % len(ring)]
 
     def prev_before(self, v: NodeId, u: NodeId) -> NodeId:
         """The neighbor counter-clockwise-before ``u`` around ``v``."""
         ring = self._order[v]
-        i = self._position[v][u]
+        i = self._pos(v)[u]
         return ring[(i - 1) % len(ring)]
 
     # -- face machinery ------------------------------------------------------
@@ -122,7 +153,7 @@ class RotationSystem:
         Mirroring maps a planar rotation system to a planar one; it is the
         global 'flip' of the whole drawing.
         """
-        return RotationSystem(
+        return RotationSystem.trusted(
             self.graph, {v: tuple(reversed(ring)) for v, ring in self._order.items()}
         )
 
@@ -145,10 +176,21 @@ def trace_faces(rotation: RotationSystem) -> list[list[tuple[NodeId, NodeId]]]:
         darts.append((v, u))
     visited: set[tuple[NodeId, NodeId]] = set()
     faces: list[list[tuple[NodeId, NodeId]]] = []
+    order = rotation._order
+    pos = rotation._pos
     for start in darts:  # deterministic: graph insertion order
         if start in visited:
             continue
-        walk = rotation.face_of(*start)
+        # Inline face_of: next dart after (u, v) leaves v along the edge
+        # clockwise-after the reversal (v -> u).
+        walk = [start]
+        u, v = start
+        while True:
+            ring = order[v]
+            u, v = v, ring[(pos(v)[u] + 1) % len(ring)]
+            if (u, v) == start:
+                break
+            walk.append((u, v))
         visited.update(walk)
         faces.append(walk)
     return faces
@@ -225,7 +267,7 @@ def contracted_rotation(
     graph = rotation.graph
     start = None
     total_out = 0
-    for u in sorted(inside, key=repr):
+    for u in sorted(inside, key=sort_key):
         for x in graph.neighbors(u):
             if x not in inside:
                 total_out += 1
@@ -235,10 +277,14 @@ def contracted_rotation(
         return []
     walk = [start]
     u, x = start
+    order = rotation._order
+    pos = rotation._pos
     while True:
-        y = rotation.next_after(u, x)
+        ring = order[u]
+        y = ring[(pos(u)[x] + 1) % len(ring)]
         while y in inside:
-            u, y = y, rotation.next_after(y, u)
+            ring = order[y]
+            u, y = y, ring[(pos(y)[u] + 1) % len(ring)]
         u, x = u, y
         if (u, x) == start:
             break

@@ -1,0 +1,160 @@
+"""Scoped planarity oracle for locally-modified planar graphs.
+
+``RecursionContext.try_split`` repeatedly asks "is the evolving network
+still planar?" after rerouting one edge bundle at a coordinator through
+a fresh copy vertex.  Testing the whole graph every time is wasteful:
+work should be proportional to the region touched, not the network.
+
+The scoping argument (Observation 3.2 — biconnected components meet
+only in cut vertices, so a graph is planar iff every block is planar):
+every edge the reroute *adds* is incident to the copy vertex, hence any
+block not containing the copy consists solely of pre-modification edges
+and is a subgraph of the pre-modification graph.  If that graph was
+already known planar, those blocks are planar for free, and the modified
+graph is planar **iff** the union of blocks containing the copy is
+planar.  That union equals the subgraph induced by their vertices (an
+edge between two such blocks' vertices would biconnect them), so one
+left-right decision test on the induced region settles the verdict.
+
+:class:`ScopedPlanarityOracle` tracks the "known planar" invariant:
+
+* While it does not hold (e.g. the input graph was never tested), the
+  oracle falls back to a full-graph test — exactly what the reference
+  path does — and establishes the invariant on a planar verdict.
+* Once it holds, each query runs one lowpoint DFS to collect the blocks
+  at the copy plus one scoped LR test, and memoizes the verdict keyed
+  by the *canonicalized* affected region (copy vertices carry a fresh
+  serial, so they are renamed to a fixed token; isomorphic regions give
+  identical verdicts).
+* A rejected split is restored exactly by the caller, so the invariant
+  survives rejections; an accepted split was just proven planar.
+
+Verdicts are therefore always identical to full-graph testing — the
+differential suite in ``tests/core`` proves it end to end — while the
+per-query cost drops from LR-on-``G`` to DFS-plus-LR-on-a-block.
+"""
+
+from __future__ import annotations
+
+from .graph import Graph, NodeId
+from .lr_planarity import lr_is_planar
+
+__all__ = ["ScopedPlanarityOracle"]
+
+# Stands in for the fresh copy vertex in memo keys: copies are
+# ("copy", coordinator, part, serial) 4-tuples, so a 1-tuple can't
+# collide with any real node.
+_COPY_TOKEN = ("copy-region",)
+
+
+class ScopedPlanarityOracle:
+    """Block-scoped planarity decisions for one evolving graph."""
+
+    MEMO_MAX_ENTRIES = 4096
+
+    def __init__(self, graph: Graph) -> None:
+        self.graph = graph  # the evolving graph, shared by reference
+        self.known_planar = False  # proven for the graph's current state
+        self.full_tests = 0
+        self.scoped_tests = 0
+        self.memo_hits = 0
+        self._memo: dict[frozenset, bool] = {}
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "full_tests": self.full_tests,
+            "scoped_tests": self.scoped_tests,
+            "memo_hits": self.memo_hits,
+        }
+
+    def check_rerouted(self, copy: NodeId) -> bool:
+        """Planarity of the graph, given that every modification since
+        the last established verdict is incident to ``copy``.
+
+        On a ``False`` verdict the caller must restore the graph exactly
+        (``try_split`` does); the pre-modification graph was planar, so
+        the invariant survives.
+        """
+        if not self.known_planar:
+            self.full_tests += 1
+            ok = lr_is_planar(self.graph)
+            self.known_planar = ok
+            return ok
+        self.scoped_tests += 1
+        region, key = self._region_at(copy)
+        cached = self._memo.get(key)
+        if cached is not None:
+            self.memo_hits += 1
+            return cached
+        ok = lr_is_planar(self.graph.subgraph(region))
+        if len(self._memo) >= self.MEMO_MAX_ENTRIES:
+            self._memo.clear()
+        self._memo[key] = ok
+        return ok
+
+    # -- region extraction -------------------------------------------------
+
+    def _region_at(self, root: NodeId) -> tuple[set[NodeId], frozenset]:
+        """Vertices of the blocks containing ``root``, plus the memo key.
+
+        One iterative Hopcroft–Tarjan lowpoint DFS rooted at ``root``;
+        only blocks whose closing cut vertex is the root itself are
+        harvested (every block containing the root closes there).
+        """
+        adj = self.graph._adj
+        disc: dict[NodeId, int] = {root: 0}
+        low: dict[NodeId, int] = {root: 0}
+        edge_stack: list[tuple[NodeId, NodeId]] = []
+        region: set[NodeId] = {root}
+        key_edges: list[frozenset] = []
+        counter = 1
+        stack: list[tuple[NodeId, NodeId | None, object]] = [
+            (root, None, iter(adj[root]))
+        ]
+        while stack:
+            v, parent, neighbors = stack[-1]
+            descended = False
+            for w in neighbors:
+                if w not in disc:
+                    disc[w] = low[w] = counter
+                    counter += 1
+                    edge_stack.append((v, w))
+                    stack.append((w, v, iter(adj[w])))
+                    descended = True
+                    break
+                if w != parent and disc[w] < disc[v]:
+                    edge_stack.append((v, w))
+                    if disc[w] < low[v]:
+                        low[v] = disc[w]
+            if descended:
+                continue
+            stack.pop()
+            if not stack:
+                break
+            u = stack[-1][0]
+            lv = low[v]
+            if lv < low[u]:
+                low[u] = lv
+            if lv >= disc[u]:
+                # u closes a block: pop its edges; harvest root blocks
+                if u == root:
+                    while True:
+                        a, b = edge_stack.pop()
+                        region.add(a)
+                        region.add(b)
+                        key_edges.append(
+                            frozenset(
+                                (
+                                    _COPY_TOKEN if a == root else a,
+                                    _COPY_TOKEN if b == root else b,
+                                )
+                            )
+                        )
+                        if a == u and b == v:
+                            break
+                else:
+                    while True:
+                        a, b = edge_stack.pop()
+                        if a == u and b == v:
+                            break
+        return region, frozenset(key_edges)

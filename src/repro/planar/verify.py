@@ -74,14 +74,23 @@ def check_embedding_with_boundary(
     :class:`EmbeddingViolation` if no face contains all boundary
     vertices.
     """
-    if not rotation.is_planar_embedding():
-        raise EmbeddingViolation("not a planar embedding")
+    # One dart trace serves both the genus check and the face search.
+    faces = trace_faces(rotation)
+    graph = rotation.graph
+    v = graph.num_nodes
+    if v:
+        e = graph.num_edges
+        # Edgeless components are bare spheres invisible to dart tracing.
+        isolated = sum(1 for node in graph.nodes() if graph.degree(node) == 0)
+        f = len(faces) + isolated
+        c = len(graph.connected_components())
+        if 2 * c - (v - e + f) != 0:
+            raise EmbeddingViolation("not a planar embedding")
     wanted = set(boundary)
     if not wanted:
-        faces = trace_faces(rotation)
         return faces[0] if faces else []
     best = None
-    for face in trace_faces(rotation):
+    for face in faces:
         if wanted <= {u for u, _ in face}:
             best = face
             break

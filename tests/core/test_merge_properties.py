@@ -80,7 +80,7 @@ def test_fallback_engages_on_skeleton_sabotage(monkeypatch):
     """If the skeleton layer misbehaves, the merge must still succeed
     through the direct re-embedding fallback and report it."""
 
-    def broken_skeleton(part):
+    def broken_skeleton(part, decomposition=None):
         raise SkeletonError("sabotaged for testing")
 
     monkeypatch.setattr(merges_module, "interface_skeleton", broken_skeleton)
@@ -97,7 +97,7 @@ def test_fallback_still_detects_nonplanar(monkeypatch):
     from repro.core import NonPlanarNetworkError
     from repro.planar.generators import complete_graph
 
-    def broken_skeleton(part):
+    def broken_skeleton(part, decomposition=None):
         raise SkeletonError("sabotaged for testing")
 
     monkeypatch.setattr(merges_module, "interface_skeleton", broken_skeleton)

@@ -1,0 +1,49 @@
+"""``distributed_planarity_test`` must return the pre-detection ledger.
+
+A non-planar input aborts the pipeline mid-recursion, but the rounds
+already spent (election, BFS, preamble, the recursion up to the failed
+merge) are real cost the caller paid; the returned ledger must contain
+them, not a stale or empty counter.
+"""
+
+import pytest
+
+from repro.core.algorithm import distributed_planarity_test
+from repro.planar.generators import grid_graph
+from repro.planar.graph import Graph
+
+
+def _k5():
+    g = Graph()
+    for i in range(5):
+        for j in range(i + 1, 5):
+            g.add_edge(i, j)
+    return g
+
+
+def _k33():
+    g = Graph()
+    for u in (0, 1, 2):
+        for v in (3, 4, 5):
+            g.add_edge(u, v)
+    return g
+
+
+@pytest.mark.parametrize("make", [_k5, _k33], ids=["K5", "K3,3"])
+def test_nonplanar_ledger_includes_pre_detection_rounds(make):
+    verdict, metrics = distributed_planarity_test(make())
+    assert verdict is False
+    assert metrics is not None
+    # The run got through the preamble phases before detection fired.
+    assert metrics.rounds > 0
+    phases = metrics.phase_breakdown()
+    for phase in ("leader-election", "bfs"):
+        assert phase in phases
+        assert phases[phase]["rounds"] > 0
+
+
+def test_planar_ledger_matches_full_run():
+    verdict, metrics = distributed_planarity_test(grid_graph(4, 5))
+    assert verdict is True
+    assert metrics.rounds > 0
+    assert "leader-election" in metrics.phase_breakdown()

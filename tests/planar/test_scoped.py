@@ -1,0 +1,110 @@
+"""ScopedPlanarityOracle: block-scoped verdicts == full-graph verdicts.
+
+The oracle's contract (used by ``RecursionContext.try_split``): between
+queries, every graph modification is incident to the queried copy
+vertex, and a ``False`` verdict is followed by an exact rollback.  Under
+that discipline its answers must equal a full-graph left-right test,
+while only testing the blocks containing the copy.
+"""
+
+import random
+
+from repro.planar.graph import Graph
+from repro.planar.lr_planarity import lr_is_planar
+from repro.planar.scoped import ScopedPlanarityOracle
+from repro.planar.generators import random_maximal_planar
+
+
+def _k4(labels=(0, 1, 2, 3)):
+    g = Graph()
+    a, b, c, d = labels
+    for u, v in [(a, b), (a, c), (a, d), (b, c), (b, d), (c, d)]:
+        g.add_edge(u, v)
+    return g
+
+
+def test_first_query_is_a_full_test_and_establishes_invariant():
+    g = _k4()
+    oracle = ScopedPlanarityOracle(g)
+    g.add_edge("copy", 0)
+    g.add_edge("copy", 1)
+    assert oracle.check_rerouted("copy") is True
+    assert oracle.known_planar
+    assert oracle.stats() == {"full_tests": 1, "scoped_tests": 0, "memo_hits": 0}
+
+
+def test_scoped_rejection_and_memoized_retry():
+    g = _k4()
+    oracle = ScopedPlanarityOracle(g)
+    # Establish the invariant with a benign modification.
+    g.add_edge("c1", 0)
+    g.add_edge("c1", 1)
+    assert oracle.check_rerouted("c1") is True
+
+    # K4 plus an apex adjacent to all four vertices contains K5.
+    for v in (0, 1, 2, 3):
+        g.add_edge("c2", v)
+    assert oracle.check_rerouted("c2") is False
+    assert lr_is_planar(g) is False  # scoped verdict == full verdict
+    stats = oracle.stats()
+    assert stats["scoped_tests"] == 1 and stats["memo_hits"] == 0
+
+    # Roll back exactly, as try_split does, then retry with a *different*
+    # copy label: the canonicalized region memo must hit.
+    adj = g._adj
+    del adj["c2"]
+    for v in (0, 1, 2, 3):
+        del adj[v]["c2"]
+    for v in (0, 1, 2, 3):
+        g.add_edge("c3", v)
+    assert oracle.check_rerouted("c3") is False
+    stats = oracle.stats()
+    assert stats["scoped_tests"] == 2 and stats["memo_hits"] == 1
+
+
+def test_scoped_only_tests_the_blocks_at_the_copy():
+    # Two K4 blocks sharing cut vertex 0; the copy touches only one side.
+    g = _k4((0, 1, 2, 3))
+    for u, v in [(0, 4), (0, 5), (0, 6), (4, 5), (4, 6), (5, 6)]:
+        g.add_edge(u, v)
+    oracle = ScopedPlanarityOracle(g)
+    g.add_edge("c1", 1)
+    g.add_edge("c1", 2)
+    assert oracle.check_rerouted("c1") is True  # full test, invariant set
+    g.add_edge("c2", 4)
+    g.add_edge("c2", 5)
+    assert oracle.check_rerouted("c2") is True
+    region, _key = oracle._region_at("c2")
+    # The far K4 block {1,2,3,c1} is not in the tested region.
+    assert region <= {0, 4, 5, 6, "c2"}
+
+
+def test_random_reroutes_agree_with_full_graph_test():
+    rng = random.Random(11)
+    for seed in range(6):
+        g = random_maximal_planar(24, seed=seed)
+        oracle = ScopedPlanarityOracle(g)
+        serial = 0
+        for _ in range(12):
+            coordinator = rng.choice(g.nodes())
+            neighbors = list(g._adj[coordinator])
+            if len(neighbors) < 2 or isinstance(coordinator, tuple):
+                continue
+            bundle = rng.sample(neighbors, rng.choice((2, min(3, len(neighbors)))))
+            copy = ("copy", serial)
+            serial += 1
+            for u in bundle:
+                g.remove_edge(u, coordinator)
+                g.add_edge(u, copy)
+            g.add_edge(copy, coordinator)
+            verdict = oracle.check_rerouted(copy)
+            assert verdict == lr_is_planar(g)
+            if not verdict:
+                # Roll back exactly (as try_split does).
+                adj = g._adj
+                del adj[copy]
+                for u in bundle:
+                    del adj[u][copy]
+                    g.add_edge(u, coordinator)
+                del adj[coordinator][copy]
+        assert oracle.stats()["scoped_tests"] > 0

@@ -1,0 +1,216 @@
+"""E17 — chaos layer: seeded faults, reliable delivery, self-healing.
+
+PR 5 added a fault-injection layer (:mod:`repro.congest.faults`), a
+per-link ARQ (:mod:`repro.congest.reliable`) whose retransmission
+traffic is charged to a dedicated ``recovery`` phase, and a
+certificate-driven self-healing driver
+(:func:`repro.core.self_healing_embedding`).  This bench measures what
+surviving chaos costs:
+
+* a chaos sweep over four planar families (n = 64 .. 1024) under the
+  canonical fault plan (``drop=0.05,corrupt=0.02,crash=2:4``, seed 17):
+  every run must come back certified — not degraded — with every
+  injected corruption caught by the wire CRC (``corruption_delivered ==
+  0``), recording the recovery-round overhead ratio versus the clean
+  certified run;
+* a tamper suite: each adversary class from
+  :data:`repro.certify.TAMPER_CLASSES` corrupts the first attempt's
+  output and must be detected by the distributed certifier and healed
+  within the retry budget — 100% detection, 100% recovery;
+* a deterministic fault budget gate on fixed seeded n=64 workloads
+  (``fault_budget.json``): chaos scheduling is reproducible from the
+  seed alone, so a regression in the ARQ or the healing ladder shows up
+  as an overhead-ratio or attempt-count diff.
+
+``REPRO_BENCH_SMOKE=1`` keeps only the n=64 sizes and the gates.
+"""
+
+import json
+import math
+import os
+import time
+from pathlib import Path
+
+from repro import distributed_planar_embedding
+from repro.analysis import print_table, verdict
+from repro.certify import TAMPER_CLASSES, apply_tamper
+from repro.congest import FaultPlan
+from repro.core import self_healing_embedding
+from repro.planar.generators import (
+    grid_graph,
+    random_maximal_planar,
+    random_outerplanar,
+    triangulated_grid,
+)
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+SIZES = (64,) if SMOKE else (64, 256, 1024)
+
+BUDGET_PATH = Path(__file__).resolve().parent / "fault_budget.json"
+
+FAMILIES = [
+    ("grid", lambda n: grid_graph(math.isqrt(n), math.isqrt(n))),
+    ("trigrid", lambda n: triangulated_grid(math.isqrt(n), math.isqrt(n))),
+    ("maximal", lambda n: random_maximal_planar(n, seed=n)),
+    ("outerplanar", lambda n: random_outerplanar(n, seed=n)),
+]
+
+
+def _chaos_run(graph, plan):
+    t0 = time.perf_counter()
+    result = self_healing_embedding(graph, faults=plan, max_retries=3)
+    return result, time.perf_counter() - t0
+
+
+def run_experiment(report=None):
+    budget = json.loads(BUDGET_PATH.read_text())
+    plan = FaultPlan.parse(budget["plan"], seed=budget["seed"])
+
+    # -- chaos sweep: certified everywhere, overhead measured ------------
+    rows = []
+    sweep = {}
+    for name, make in FAMILIES:
+        for n in SIZES:
+            g = make(n)
+            clean = distributed_planar_embedding(g, certify=True)
+            result, wall = _chaos_run(g, plan)
+            degraded = getattr(result, "degraded", False)
+            stats = result.fault_stats or {}
+            ratio = result.metrics.rounds / max(1, clean.metrics.rounds)
+            recovery = result.metrics.phase_breakdown().get("recovery", {})
+            sweep[(name, g.num_nodes)] = {
+                "degraded": degraded,
+                "certified": bool(
+                    result.certification and result.certification.accepted
+                ),
+                "attempts": (
+                    result.attempts if degraded else result.heal_attempts
+                ),
+                "ratio": ratio,
+                "corruption_delivered": stats.get("corruption_delivered", 0),
+                "faults_injected": stats.get("faults_injected", 0),
+            }
+            if report is not None:
+                report.record_run(
+                    g, result, wall, family=name, mode="chaos-sweep",
+                    clean_rounds=clean.metrics.rounds,
+                    overhead_ratio=round(ratio, 3),
+                    heal_attempts=sweep[(name, g.num_nodes)]["attempts"],
+                    degraded=degraded,
+                    faults_injected=stats.get("faults_injected", 0),
+                    recovery_messages=recovery.get("messages", 0),
+                )
+            rows.append([
+                name, g.num_nodes, clean.metrics.rounds, result.metrics.rounds,
+                round(ratio, 2), sweep[(name, g.num_nodes)]["attempts"],
+                stats.get("faults_injected", 0), recovery.get("messages", 0),
+                "ok" if not degraded else "DEGRADED", round(wall, 3),
+            ])
+    print_table(
+        ["family", "n", "clean", "chaos", "ratio", "attempts", "faults",
+         "recovery_msgs", "outcome", "wall_s"],
+        rows,
+        title=f"E17: chaos sweep ({budget['plan']}, seed={budget['seed']})",
+    )
+
+    # -- tamper suite: every adversary class detected and healed ---------
+    tamper_rows = []
+    tampers = {}
+    g = triangulated_grid(4, 4)
+    for tamper in sorted(TAMPER_CLASSES):
+        def corrupt_once(attempt, result, _tamper=tamper):
+            if attempt == 1:
+                return apply_tamper(
+                    _tamper, result.graph, result.rotation,
+                    result.certificates, seed=7,
+                )
+            return None
+
+        result = self_healing_embedding(g, corrupt_hook=corrupt_once)
+        degraded = getattr(result, "degraded", False)
+        healed = not degraded and result.certification.accepted
+        detected = degraded or result.heal_attempts > 1
+        tampers[tamper] = (detected, healed)
+        if report is not None:
+            report.record(
+                mode="tamper-suite", tamper=tamper,
+                detected=detected, healed=healed,
+                attempts=result.attempts if degraded else result.heal_attempts,
+            )
+        tamper_rows.append([
+            tamper,
+            "yes" if detected else "MISSED",
+            "yes" if healed else "NO",
+            result.attempts if degraded else result.heal_attempts,
+        ])
+    print_table(
+        ["tamper class", "detected", "healed", "attempts"],
+        tamper_rows,
+        title="E17: tamper suite (trigrid 4x4, certifier-driven healing)",
+    )
+
+    # -- deterministic fault budget gate ---------------------------------
+    gate_rows = []
+    gate = {}
+    for key, allowed in budget["workloads"].items():
+        family, n = key.rsplit(":", 1)
+        g = dict(FAMILIES)[family](int(n))
+        clean = distributed_planar_embedding(g, certify=True)
+        result, wall = _chaos_run(g, plan)
+        degraded = getattr(result, "degraded", False)
+        ratio = result.metrics.rounds / max(1, clean.metrics.rounds)
+        attempts = result.attempts if degraded else result.heal_attempts
+        gate[key] = (ratio, allowed, attempts, degraded)
+        if report is not None:
+            report.record(
+                mode="budget-gate", workload=key,
+                overhead_ratio=round(ratio, 3), budget=allowed,
+                attempts=attempts, within=not degraded and ratio <= allowed,
+                wall_s=round(wall, 6),
+            )
+        gate_rows.append([
+            key, round(ratio, 2), allowed, attempts,
+            "ok" if not degraded and ratio <= allowed else "OVER",
+        ])
+    print_table(
+        ["workload", "ratio", "budget", "attempts", "verdict"],
+        gate_rows,
+        title="E17: fault budget gate (fixed seeded workloads)",
+    )
+    return sweep, tampers, gate, budget
+
+
+def test_e17_faults(run_once, bench_report):
+    sweep, tampers, gate, budget = run_once(run_experiment, bench_report)
+
+    ok = True
+    # Acceptance: every family x size heals to a certified embedding.
+    for (name, n), row in sweep.items():
+        ok &= verdict(
+            f"E17: {name}:{n} certified under chaos",
+            not row["degraded"] and row["certified"],
+            f"attempts={row['attempts']} ratio={row['ratio']:.2f}",
+        )
+        ok &= verdict(
+            f"E17: {name}:{n} zero corrupted payloads delivered",
+            row["corruption_delivered"] == 0,
+            f"{row['corruption_delivered']} slipped past the CRC "
+            f"of {row['faults_injected']} injected faults",
+        )
+    # 100% tamper detection and recovery.
+    for tamper, (detected, healed) in tampers.items():
+        ok &= verdict(f"E17: tamper {tamper} detected", detected)
+        ok &= verdict(f"E17: tamper {tamper} healed", healed)
+    # Deterministic overhead gate.
+    for key, (ratio, allowed, attempts, degraded) in gate.items():
+        ok &= verdict(
+            f"E17: {key} within recovery-round budget",
+            not degraded and ratio <= allowed,
+            f"ratio {ratio:.2f} vs budget {allowed}",
+        )
+        ok &= verdict(
+            f"E17: {key} heals within attempt cap",
+            attempts <= budget["max_heal_attempts"],
+            f"{attempts} attempts, cap {budget['max_heal_attempts']}",
+        )
+    assert ok

@@ -26,10 +26,21 @@ every node gets an O(log n)-bit proof label and a distributed CONGEST
 verifier re-checks the output in O(D) rounds; ``--certify-adversary``
 additionally runs the tamper suite and demands 100% detection.
 
+Robustness: ``--faults SPEC`` runs the self-healing pipeline under a
+deterministic chaos schedule (:mod:`repro.congest.faults`) — e.g.
+``--faults drop=0.05,corrupt=0.02,crash=2:5`` — seeded by
+``--fault-seed``; every pipeline execution then rides the reliable ARQ
+transport (retransmission traffic shows in the ledger under the
+``recovery`` phase), the result is certified, and a rejected
+certificate is healed with up to ``--max-retries`` escalating retries
+(re-verify, re-certify, re-embed).
+
 Exit codes: 0 = success; 1 = input not planar (a Kuratowski witness is
 printed); 2 = usage error; 3 = verification or certification rejected
 the computed embedding (or a tamper went undetected) — an algorithm
-bug, never the input's fault.
+bug, never the input's fault; 4 = degraded result — the self-healing
+retry budget ran out under ``--faults`` before a certified embedding
+was produced (the partial state and diagnosis are reported).
 """
 
 from __future__ import annotations
@@ -125,6 +136,20 @@ def main(argv: list[str] | None = None) -> int:
                              "tamper is detected")
     parser.add_argument("--bandwidth", type=int, default=1, metavar="W",
                         help="CONGEST words per edge per round (default 1)")
+    parser.add_argument("--faults", metavar="SPEC",
+                        help="run self-healing under a deterministic chaos "
+                             "schedule, e.g. drop=0.05,dup=0.01,delay=0.1:2,"
+                             "corrupt=0.02,crash=2:5,link=1:6 (implies "
+                             "--certify; exits 4 when healing is exhausted)")
+    parser.add_argument("--fault-seed", type=int, default=0, metavar="S",
+                        dest="fault_seed",
+                        help="seed for the --faults schedule; the whole fault "
+                             "run is reproducible from this seed alone "
+                             "(default 0)")
+    parser.add_argument("--max-retries", type=int, default=3, metavar="N",
+                        dest="max_retries",
+                        help="self-healing attempts beyond the first under "
+                             "--faults (default 3)")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-vertex rotations")
     parser.add_argument("--trace", metavar="FILE",
@@ -163,6 +188,21 @@ def main(argv: list[str] | None = None) -> int:
     say(f"network: n={graph.num_nodes}, m={graph.num_edges}")
     certify = args.certify or args.certify_adversary
 
+    fault_plan = None
+    if args.faults is not None:
+        if args.baseline:
+            parser.error("--faults drives the self-healing Theorem 1.1 "
+                         "pipeline, not --baseline")
+        if args.max_retries < 0:
+            parser.error("--max-retries must be >= 0")
+        from .congest import FaultPlan, FaultSpecError
+
+        try:
+            fault_plan = FaultPlan.parse(args.faults, seed=args.fault_seed)
+        except FaultSpecError as exc:
+            parser.error(str(exc))
+        certify = True  # healing is certificate-driven
+
     tracer = Tracer() if args.trace is not None else None
     # Open the trace sink before the (possibly long) run so a bad path
     # fails fast instead of discarding the finished trace.
@@ -181,12 +221,25 @@ def main(argv: list[str] | None = None) -> int:
         profiler = cProfile.Profile()
         profiler.enable()
     t0 = time.perf_counter()
+    driver = None
     try:
         if args.baseline:
             result = trivial_baseline_embedding(graph, bandwidth_words=args.bandwidth)
             say("algorithm: trivial gather-everything baseline (footnote 2)")
             if certify:
                 result.verify_distributed()
+        elif fault_plan is not None:
+            from .core import self_healing_embedding
+
+            result = self_healing_embedding(
+                graph,
+                bandwidth_words=args.bandwidth,
+                max_retries=args.max_retries,
+                tracer=tracer,
+                faults=fault_plan,
+            )
+            say("algorithm: self-healing Theorem 1.1 pipeline")
+            say(f"chaos schedule: {fault_plan.describe()}")
         else:
             driver = DistributedPlanarEmbedding(
                 graph, bandwidth_words=args.bandwidth, tracer=tracer, certify=certify
@@ -221,7 +274,7 @@ def main(argv: list[str] | None = None) -> int:
         for u, v in sorted(witness.edges(), key=repr):
             say(f"  {u} -- {v}")
         if args.json:
-            metrics = driver.last_metrics
+            metrics = driver.last_metrics if driver is not None else None
             print(json.dumps({
                 "type": "run-report",
                 "planar": False,
@@ -243,7 +296,44 @@ def main(argv: list[str] | None = None) -> int:
     profile_rows = _stop_profiler(profiler)
 
     _dump_trace(tracer, trace_sink)
+    if getattr(result, "degraded", False):
+        # The self-healing retry budget ran out: report the structured
+        # partial state instead of pretending nothing was computed.
+        say(f"result: DEGRADED — {result.diagnosis}")
+        say(f"healing attempts: {result.attempts}")
+        for line in result.heal_log:
+            say(f"  {line}")
+        if result.fault_stats is not None:
+            say(f"chaos: {result.fault_stats['faults_injected']} faults injected"
+                f" ({result.fault_stats['sent']} frames sent)")
+        if result.rotation is not None:
+            say("partial (uncertified) rotation retained"
+                f" for {len(result.rotation)} nodes")
+        if args.json:
+            report = result.to_report()
+            report["wall_s"] = round(wall_s, 6)
+            report["algorithm"] = "theorem-1.1-self-healing"
+            if profile_rows is not None:
+                report["profile"] = profile_rows
+            print(json.dumps(report, default=repr))
+        elif profile_rows is not None:
+            _print_profile(say, profile_rows)
+        return 4
     say(f"result: planar embedding in {result.rounds} CONGEST rounds")
+    if getattr(result, "heal_attempts", 0):
+        if result.heal_attempts > 1:
+            say(f"self-healing: certified after {result.heal_attempts} attempts")
+            for line in result.heal_log:
+                say(f"  {line}")
+        fstats = result.fault_stats
+        if fstats is not None:
+            say(f"chaos: {fstats['faults_injected']} faults injected"
+                f" ({fstats['dropped']} dropped, {fstats['corruption_detected']}"
+                f" corruptions detected, {fstats['duplicated']} duplicated,"
+                f" {fstats['delayed']} delayed, {fstats['crash_inbox_drops']}"
+                f" crash-eaten); recovery traffic:"
+                f" {fstats['recovery_messages']} messages,"
+                f" {fstats['recovery_words']} words")
     if result.trace:
         say(f"recursion depth: {result.recursion_depth}")
     if getattr(result, "split_tests", 0):
@@ -304,7 +394,11 @@ def main(argv: list[str] | None = None) -> int:
             "metrics": result.metrics.to_dict(),
         }
         report["wall_s"] = round(wall_s, 6)
-        report["algorithm"] = "baseline" if args.baseline else "theorem-1.1"
+        report["algorithm"] = (
+            "baseline" if args.baseline
+            else "theorem-1.1-self-healing" if fault_plan is not None
+            else "theorem-1.1"
+        )
         if suite is not None:
             report["tamper_suite"] = suite.to_dict()
         if profile_rows is not None:

@@ -16,7 +16,13 @@ al., PODC 2020):
   soundness: every corruption class is rejected by at least one node.
 """
 
-from .adversary import TAMPER_CLASSES, TamperOutcome, TamperSuiteReport, run_tamper_suite
+from .adversary import (
+    TAMPER_CLASSES,
+    TamperOutcome,
+    TamperSuiteReport,
+    apply_tamper,
+    run_tamper_suite,
+)
 from .labels import CertificateSet, DartLabel, NodeCertificate
 from .prover import build_certificates, face_labels
 from .verifier import (
@@ -41,5 +47,6 @@ __all__ = [
     "TamperOutcome",
     "TamperSuiteReport",
     "TAMPER_CLASSES",
+    "apply_tamper",
     "run_tamper_suite",
 ]

@@ -46,6 +46,7 @@ __all__ = [
     "TamperOutcome",
     "TamperSuiteReport",
     "TAMPER_CLASSES",
+    "apply_tamper",
     "run_tamper_suite",
 ]
 
@@ -223,6 +224,26 @@ TAMPER_CLASSES: dict[str, Callable[..., str]] = {
     "collusion": _tamper_collusion,
     "global-forgery": _tamper_global_forgery,
 }
+
+
+def apply_tamper(
+    name: str,
+    graph: Graph,
+    rotation: RotationMap,
+    certificates: CertificateSet,
+    seed: int | random.Random = 0,
+) -> str:
+    """Apply one tamper class **in place** to ``(rotation, certificates)``.
+
+    The mutation entry point for callers outside the suite — the
+    self-healing chaos bench and tests corrupt a live embedding result
+    with it and then watch the certifier catch and heal the damage.
+    Returns the tamper's one-line description.
+    """
+    if name not in TAMPER_CLASSES:
+        raise ValueError(f"unknown tamper class {name!r}; options: {sorted(TAMPER_CLASSES)}")
+    rng = seed if isinstance(seed, random.Random) else random.Random(seed)
+    return TAMPER_CLASSES[name](rng, graph, rotation, certificates)
 
 
 def run_tamper_suite(

@@ -3,10 +3,32 @@
 from .errors import (
     BandwidthExceededError,
     CongestError,
+    FaultSpecError,
+    MessageCorruptionError,
     ProtocolViolationError,
+    RetransmitBudgetExceededError,
     RoundLimitExceededError,
 )
-from .message import PayloadMeter, payload_bits, payload_words, word_bits
+from .faults import (
+    CrashWindow,
+    FaultInjector,
+    FaultPlan,
+    FaultState,
+    FaultStats,
+    LinkOutage,
+    default_fault_injector,
+    fault_override,
+)
+from .message import (
+    Message,
+    PayloadMeter,
+    decode_payload,
+    encode_payload,
+    flip_bit,
+    payload_bits,
+    payload_words,
+    word_bits,
+)
 from .metrics import Charge, RoundMetrics
 from .network import (
     SCHEDULERS,
@@ -23,6 +45,7 @@ from .pipelining import (
     gather_scatter_rounds,
     stream_rounds,
 )
+from .reliable import ReliableProgram, run_reliable
 
 __all__ = [
     "CongestNetwork",
@@ -37,6 +60,20 @@ __all__ = [
     "payload_words",
     "payload_bits",
     "word_bits",
+    "Message",
+    "encode_payload",
+    "decode_payload",
+    "flip_bit",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultState",
+    "FaultStats",
+    "CrashWindow",
+    "LinkOutage",
+    "fault_override",
+    "default_fault_injector",
+    "ReliableProgram",
+    "run_reliable",
     "stream_rounds",
     "convergecast_rounds",
     "broadcast_rounds",
@@ -46,4 +83,7 @@ __all__ = [
     "BandwidthExceededError",
     "RoundLimitExceededError",
     "ProtocolViolationError",
+    "MessageCorruptionError",
+    "RetransmitBudgetExceededError",
+    "FaultSpecError",
 ]

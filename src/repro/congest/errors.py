@@ -7,6 +7,9 @@ __all__ = [
     "BandwidthExceededError",
     "RoundLimitExceededError",
     "ProtocolViolationError",
+    "MessageCorruptionError",
+    "RetransmitBudgetExceededError",
+    "FaultSpecError",
 ]
 
 
@@ -24,3 +27,22 @@ class RoundLimitExceededError(CongestError):
 
 class ProtocolViolationError(CongestError):
     """A node program misbehaved (sent to a non-neighbor, etc.)."""
+
+
+class MessageCorruptionError(CongestError):
+    """A wire frame failed to decode (checksum mismatch or malformed body).
+
+    This is the *only* exception message decoding may raise: any
+    underlying ``struct``/unicode/value error is wrapped, so callers can
+    treat corruption as a typed, countable event rather than a crash.
+    """
+
+
+class RetransmitBudgetExceededError(CongestError):
+    """The reliable-delivery layer gave up on a link: a frame stayed
+    unacknowledged through the configured maximum number of
+    retransmission attempts."""
+
+
+class FaultSpecError(ValueError):
+    """A fault-plan specification string or parameter was invalid."""

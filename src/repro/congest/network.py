@@ -33,6 +33,7 @@ from typing import Any, Iterator
 
 from ..planar.graph import Graph, NodeId
 from .errors import BandwidthExceededError, ProtocolViolationError, RoundLimitExceededError
+from .faults import FaultInjector, FaultPlan, FaultState, default_fault_injector
 from .message import PayloadMeter, word_bits
 from .metrics import RoundMetrics
 from .node import NodeProgram
@@ -89,6 +90,7 @@ class CongestNetwork:
         bandwidth_words: int = 8,
         metrics: RoundMetrics | None = None,
         scheduler: str | None = None,
+        faults: FaultPlan | FaultInjector | None = None,
     ) -> None:
         """Create a network.
 
@@ -102,6 +104,14 @@ class CongestNetwork:
         the default) or ``"dense"`` (poll every node every round); both
         yield identical metrics.  ``None`` uses the process default (see
         :func:`scheduler_override`).
+
+        ``faults`` attaches a deterministic chaos schedule (a
+        :class:`~repro.congest.faults.FaultPlan`, or a shared
+        :class:`~repro.congest.faults.FaultInjector` when several
+        networks must see one global fault clock).  ``None`` uses the
+        process default (see
+        :func:`~repro.congest.faults.fault_override`) — which is no
+        faults, and a delivery path with zero fault-handling code.
         """
         self.graph = graph
         self.bandwidth_words = bandwidth_words
@@ -116,6 +126,31 @@ class CongestNetwork:
         # Per-round observer (e.g. a repro.obs.Tracer), inherited from the
         # ledger; None means the round loop runs with no tracing code at all.
         self.observer = getattr(self.metrics, "observer", None)
+        # The single shared delivery hook: BOTH scheduler loops post every
+        # outbox through ``self._deliver``, so fault injection happens in
+        # exactly one place and the loops stay differentially testable
+        # under identical fault schedules.  Without faults the hook *is*
+        # the plain fast path — no per-message fault code at all.
+        if faults is None:
+            injector = default_fault_injector()
+        elif isinstance(faults, FaultInjector):
+            injector = faults
+        else:
+            injector = FaultInjector(faults)
+        if injector is not None:
+            self._fault_state: FaultState | None = FaultState(
+                injector, graph, self.observer
+            )
+            self._deliver = self._post_outbox_faulty
+        else:
+            self._fault_state = None
+            self._deliver = self._post_outbox
+
+    @property
+    def fault_stats(self):
+        """The shared :class:`~repro.congest.faults.FaultStats` collector
+        when a fault schedule is attached, else ``None``."""
+        return self._fault_state.stats if self._fault_state is not None else None
 
     def run(
         self,
@@ -137,20 +172,79 @@ class CongestNetwork:
         metrics = self.metrics
         messages_before = metrics.messages
         words_before = metrics.total_words
+        fs = self._fault_state
+        extra_bandwidth = 0
+        if fs is not None and not fs.plan.is_null:
+            # A lossy network needs a transport: transparently run every
+            # program over the reliable ARQ layer (unless the caller
+            # already wrapped them), widening the bandwidth so the ARQ
+            # header never pushes a legal payload over budget.  The
+            # retransmit/ack traffic this generates is what the
+            # ``recovery`` ledger tag accounts.
+            programs, extra_bandwidth = self._wrap_reliable(programs)
+            self.bandwidth_words += extra_bandwidth
         loop = self._loop_dense if self.scheduler == "dense" else self._loop_event
-        rounds_used, activated, iterations = loop(programs, max_rounds, phase)
+        if fs is not None:
+            fs.start_run()
+        try:
+            rounds_used, activated, iterations = loop(programs, max_rounds, phase)
+        finally:
+            # Advance the injector's global clock even when the execution
+            # failed — a retried phase must see fresh fault draws and run
+            # past any crash/outage window the failed attempt died in.
+            if fs is not None:
+                fs.close_run()
+            if extra_bandwidth:
+                self.bandwidth_words -= extra_bandwidth
         saved = len(programs) * iterations - activated
         metrics.record_activations(activated, saved)
+        rec_rounds = rec_msgs = rec_words = 0
+        if fs is not None:
+            rec_rounds, rec_msgs, rec_words = fs.take_recovery()
         if phase is not None:
             metrics.tag_phase(
                 phase,
-                rounds_used,
-                messages=metrics.messages - messages_before,
-                words=metrics.total_words - words_before,
+                rounds_used - rec_rounds,
+                messages=metrics.messages - messages_before - rec_msgs,
+                words=metrics.total_words - words_before - rec_words,
                 activations=activated,
                 activations_saved=saved,
             )
+            if rec_msgs:
+                # Retransmit/ack traffic from the reliable layer: already
+                # counted by record_round as it happened; file its
+                # provenance under the dedicated recovery tag so ledger,
+                # spans, and --json reports show the overhead.
+                metrics.tag_phase(
+                    "recovery",
+                    rec_rounds,
+                    messages=rec_msgs,
+                    words=rec_words,
+                    detail=f"reliable-delivery overhead during {phase}",
+                )
         return {v: programs[v].result() for v in programs}
+
+    def _wrap_reliable(
+        self, programs: Mapping[NodeId, NodeProgram]
+    ) -> tuple[Mapping[NodeId, NodeProgram], int]:
+        """Wrap programs in the ARQ layer for a lossy execution.
+
+        Returns the (possibly wrapped) programs and the extra bandwidth
+        budget the ARQ header needs — zero when the caller already
+        supplied :class:`~repro.congest.reliable.ReliableProgram`
+        instances (e.g. via ``run_reliable``, which widens at
+        construction).  Imported lazily: ``reliable`` imports this
+        module.
+        """
+        from .reliable import RELIABLE_HEADER_WORDS, ReliableProgram
+
+        if any(isinstance(p, ReliableProgram) for p in programs.values()):
+            return programs, 0
+        wrapped = {
+            v: ReliableProgram(p, v, self.graph.neighbors(v))
+            for v, p in programs.items()
+        }
+        return wrapped, RELIABLE_HEADER_WORDS
 
     # -- schedulers --------------------------------------------------------
 
@@ -163,18 +257,24 @@ class CongestNetwork:
         """The reference loop: every node is called every round."""
         observer = self.observer
         metrics = self.metrics
+        fs = self._fault_state
+        post_outbox = self._deliver
         in_flight: dict[NodeId, dict[NodeId, Any]] = {}
         rounds_used = 0
         activated = 0
         iterations = 1  # the on_start sweep
 
-        # Round 1 sends: on_start.
+        # Round 1 sends: on_start.  Nodes inside a crash window are not
+        # activated at all — a node down at round 1 never runs on_start.
+        crashed = fs.crashed_at(1) if fs is not None else ()
         pending = words = max_edge = 0
         for v, program in programs.items():
+            if crashed and v in crashed:
+                continue
             outbox = program.on_start()
             activated += 1
             if outbox:
-                c, w, me = self._post_outbox(v, outbox, in_flight)
+                c, w, me = post_outbox(v, outbox, in_flight)
                 pending += c
                 words += w
                 if me > max_edge:
@@ -187,7 +287,11 @@ class CongestNetwork:
 
         round_no = 1
         while True:
-            if pending == 0 and all(programs[v].done for v in programs):
+            if (
+                pending == 0
+                and (fs is None or fs.no_pending())
+                and all(programs[v].done for v in programs)
+            ):
                 break
             if round_no > max_rounds:
                 raise RoundLimitExceededError(
@@ -197,12 +301,17 @@ class CongestNetwork:
             iterations += 1
             inboxes = in_flight
             in_flight = {}
+            if fs is not None:
+                fs.begin_round(round_no, inboxes)
+                crashed = fs.crashed_at(round_no)
             pending = words = max_edge = 0
             for v, program in programs.items():
+                if crashed and v in crashed:
+                    continue
                 outbox = program.on_round(round_no, inboxes.get(v) or {})
                 activated += 1
                 if outbox:
-                    c, w, me = self._post_outbox(v, outbox, in_flight)
+                    c, w, me = post_outbox(v, outbox, in_flight)
                     pending += c
                     words += w
                     if me > max_edge:
@@ -240,7 +349,8 @@ class CongestNetwork:
         """
         observer = self.observer
         metrics = self.metrics
-        post_outbox = self._post_outbox
+        fs = self._fault_state
+        post_outbox = self._deliver
         in_flight: dict[NodeId, dict[NodeId, Any]] = {}
         rounds_used = 0
         activated = 0
@@ -252,13 +362,22 @@ class CongestNetwork:
         done_seen: dict[NodeId, bool] = {}
         undone = 0
 
-        # Round 1 sends: on_start (every node, like the dense loop).
+        # Round 1 sends: on_start (every node, like the dense loop) —
+        # except nodes inside a crash window, which are never activated;
+        # their done/wake state is read without running them.
+        crashed = fs.crashed_at(1) if fs is not None else ()
         pending = words = max_edge = 0
         for v, program in programs.items():
+            if crashed and v in crashed:
+                d = program.done
+                done_seen[v] = d
+                if not d:
+                    undone += 1
+                continue
             outbox = program.on_start()
             activated += 1
             if outbox:
-                c, w, me = self._post_outbox(v, outbox, in_flight)
+                c, w, me = post_outbox(v, outbox, in_flight)
                 pending += c
                 words += w
                 if me > max_edge:
@@ -277,7 +396,7 @@ class CongestNetwork:
 
         round_no = 1
         while True:
-            if pending == 0 and undone == 0:
+            if pending == 0 and undone == 0 and (fs is None or fs.no_pending()):
                 break
             if round_no > max_rounds:
                 raise RoundLimitExceededError(
@@ -287,13 +406,37 @@ class CongestNetwork:
             iterations += 1
             inboxes = in_flight
             in_flight = {}
+            if fs is not None:
+                # Merge due delayed frames, drop crashed receivers' inboxes,
+                # and wake nodes whose crash window just ended (the dense
+                # loop polls them anyway; under the event-driven contract
+                # that restart poll is the only activation they need to
+                # re-request attention).
+                fs.begin_round(round_no, inboxes)
+                crashed = fs.crashed_at(round_no)
             if wakers or polled:
                 active = set(inboxes)
                 active.update(wakers)
                 active.update(polled)
             else:
                 active = set(inboxes)
+            if fs is not None:
+                if fs.restarted:
+                    active.update(v for v in fs.restarted if v in programs)
+                if crashed:
+                    active.difference_update(crashed)
             if not active:
+                if fs is not None:
+                    if undone == 0 and fs.no_pending():
+                        # Everything already done; the last frames in
+                        # flight were eaten by faults.
+                        break
+                    if not fs.no_pending() or fs.windows_pending():
+                        # Delayed frames still maturing, or a crash window
+                        # still active/ahead: let fault time advance in a
+                        # silent round, exactly as the dense loop does.
+                        pending = 0
+                        continue
                 # No messages, no wakeup requests, nothing polled — yet
                 # some program is not done.  The dense loop would spin
                 # silent rounds until max_rounds; fail fast instead with
@@ -372,6 +515,46 @@ class CongestNetwork:
                 max_edge = w
         return count, words, max_edge
 
+    def _post_outbox_faulty(
+        self,
+        sender: NodeId,
+        outbox: Mapping[NodeId, Any],
+        in_flight: dict[NodeId, dict[NodeId, Any]],
+    ) -> tuple[int, int, int]:
+        """The fault-schedule variant of :meth:`_post_outbox`.
+
+        Validation, measurement, and accounting are identical — a frame
+        eaten by the network still consumed its bandwidth, so dropped and
+        corrupted frames count as traffic — but delivery is decided by
+        :meth:`FaultState.transmit` (drop / corrupt / delay / duplicate /
+        link-outage), which also classifies reliable-layer recovery
+        frames for the ledger.
+        """
+        fs = self._fault_state
+        neighbors = self.graph._adj[sender]
+        measure = self._measure
+        bandwidth = self.bandwidth_words
+        count = 0
+        words = 0
+        max_edge = 0
+        for receiver, payload in outbox.items():
+            if receiver not in neighbors:
+                raise ProtocolViolationError(
+                    f"{sender!r} tried to send to non-neighbor {receiver!r}"
+                )
+            w = measure(payload)
+            if w > bandwidth:
+                raise BandwidthExceededError(
+                    f"{sender!r}->{receiver!r}: {w} words exceeds "
+                    f"bandwidth {bandwidth}"
+                )
+            fs.transmit(sender, receiver, payload, w, in_flight)
+            count += 1
+            words += w
+            if w > max_edge:
+                max_edge = w
+        return count, words, max_edge
+
     def _limit_diagnosis(
         self,
         programs: Mapping[NodeId, NodeProgram],
@@ -423,10 +606,15 @@ def run_program(
     max_rounds: int = 1_000_000,
     phase: str | None = None,
     scheduler: str | None = None,
+    faults: FaultPlan | FaultInjector | None = None,
 ) -> dict[NodeId, Any]:
     """Convenience wrapper: instantiate one program per node and run."""
     network = CongestNetwork(
-        graph, bandwidth_words=bandwidth_words, metrics=metrics, scheduler=scheduler
+        graph,
+        bandwidth_words=bandwidth_words,
+        metrics=metrics,
+        scheduler=scheduler,
+        faults=faults,
     )
     programs = {v: factory(v, graph.neighbors(v)) for v in graph.nodes()}
     return network.run(programs, max_rounds=max_rounds, phase=phase)

@@ -11,10 +11,12 @@ Public entry points:
 """
 
 from .algorithm import (
+    DegradedResult,
     DistributedPlanarEmbedding,
     EmbeddingResult,
     distributed_planar_embedding,
     distributed_planarity_test,
+    self_healing_embedding,
 )
 from .assembly import AssemblyError, expand_copies, insert_pendant, insert_two_terminal
 from .baseline import trivial_baseline_embedding
@@ -44,6 +46,8 @@ __all__ = [
     "distributed_planarity_test",
     "DistributedPlanarEmbedding",
     "EmbeddingResult",
+    "DegradedResult",
+    "self_healing_embedding",
     "trivial_baseline_embedding",
     "NonPlanarNetworkError",
     "PartEmbedding",

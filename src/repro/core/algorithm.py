@@ -41,7 +41,13 @@ from .recursion import CallRecord, RecursionContext, embed_subtree
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from ..certify import CertificateSet, CertificationReport
 
-__all__ = ["EmbeddingResult", "DistributedPlanarEmbedding", "distributed_planar_embedding"]
+__all__ = [
+    "EmbeddingResult",
+    "DegradedResult",
+    "DistributedPlanarEmbedding",
+    "distributed_planar_embedding",
+    "self_healing_embedding",
+]
 
 
 @dataclass
@@ -62,6 +68,9 @@ class EmbeddingResult:
     split_tests: int = 0  # multi-edge bundle split validations run
     split_rejections: int = 0  # splits rolled back as planarity-breaking
     split_oracle: dict | None = None  # scoped-oracle counters (None = reference path)
+    heal_attempts: int = 0  # self-healing attempts consumed (0 = plain run)
+    heal_log: list[str] = field(default_factory=list)  # what healing saw and did
+    fault_stats: dict | None = None  # chaos-layer counters (None = no fault plan)
 
     @property
     def rounds(self) -> int:
@@ -140,6 +149,62 @@ class EmbeddingResult:
             report["certification"] = self.certification.to_dict()
         if self.certificates is not None:
             report["certificates"] = self.certificates.to_dict()
+        if self.heal_attempts:
+            report["healing"] = {
+                "attempts": self.heal_attempts,
+                "log": list(self.heal_log),
+            }
+        if self.fault_stats is not None:
+            report["fault_stats"] = dict(self.fault_stats)
+        return report
+
+
+@dataclass
+class DegradedResult:
+    """What self-healing surfaces when the retry budget runs out.
+
+    Not an exception: chaos beyond the budget is an expected operational
+    outcome, so the driver returns the best partial state it has — the
+    last (uncertified or rejected) rotation, the full healing log, the
+    certifier's last verdict, the combined round ledger, and the fault
+    counters — and the CLI maps it to its own exit code.
+    """
+
+    graph: Graph
+    rotation: dict[NodeId, tuple] | None  # last attempt's output, if any
+    diagnosis: str
+    attempts: int
+    heal_log: list[str]
+    metrics: RoundMetrics
+    certification: "CertificationReport | None" = None
+    fault_stats: dict | None = None
+
+    degraded = True  # cheap discriminator vs EmbeddingResult
+
+    @property
+    def rounds(self) -> int:
+        return self.metrics.rounds
+
+    def to_report(self) -> dict:
+        report = {
+            "type": "degraded-report",
+            "planar": None,
+            "n": self.graph.num_nodes,
+            "m": self.graph.num_edges,
+            "rounds": self.rounds,
+            "diagnosis": self.diagnosis,
+            "healing": {"attempts": self.attempts, "log": list(self.heal_log)},
+            "partial_rotation": (
+                {repr(v): [repr(u) for u in order] for v, order in self.rotation.items()}
+                if self.rotation is not None
+                else None
+            ),
+            "metrics": self.metrics.to_dict(),
+        }
+        if self.certification is not None:
+            report["certification"] = self.certification.to_dict()
+        if self.fault_stats is not None:
+            report["fault_stats"] = dict(self.fault_stats)
         return report
 
 
@@ -334,6 +399,205 @@ def distributed_planar_embedding(
         graph, bandwidth_words=bandwidth_words, verify=verify, tracer=tracer,
         certify=certify,
     ).run()
+
+
+def self_healing_embedding(
+    graph: Graph,
+    bandwidth_words: int = 1,
+    max_retries: int = 3,
+    tracer: Tracer | None = None,
+    faults=None,
+    corrupt_hook=None,
+    splitter_strategy: str = "balanced",
+) -> "EmbeddingResult | DegradedResult":
+    """Run the embedding with certificate-driven self-healing.
+
+    The driver computes an embedding, certifies it with the
+    :mod:`repro.certify` prover, and verifies it with the distributed
+    verifier.  A rejected certificate triggers an escalation ladder that
+    re-executes only as much as the evidence demands, each step costing
+    one attempt from the ``1 + max_retries`` budget:
+
+    1. **re-verify** — the rejection may itself be a transient fault;
+    2. **re-certify** — rebuild the proof labels from the rotation
+       system and verify again (heals corrupted certificates);
+    3. **re-embed** — recompute the embedding from scratch (heals a
+       corrupted rotation).
+
+    An attempt that *crashes* (a stalled flood, an exhausted retransmit
+    budget, corrupted state tripping an internal invariant — under
+    ``faults`` almost any error is reachable; clean runs never enter
+    this path) retries the stage that failed.  ``faults`` (a
+    :class:`~repro.congest.faults.FaultPlan` or shared
+    :class:`~repro.congest.faults.FaultInjector`) is installed for every
+    network the pipeline creates; its **global** round clock makes
+    retries run on fresh fault draws and past transient crash/outage
+    windows, which is what makes healing converge.
+
+    ``corrupt_hook(attempt, result)`` — used by the chaos bench and
+    tests — may tamper with ``result.rotation`` / ``result.certificates``
+    before verification and return a description of the damage.
+
+    Returns the healed :class:`EmbeddingResult` (with ``heal_attempts``,
+    ``heal_log``, and ``fault_stats`` filled in), or a structured
+    :class:`DegradedResult` when the budget runs out.  A non-planar
+    input raises :class:`NonPlanarNetworkError` as usual when no fault
+    plan is active; under faults the detection is re-checked like any
+    other suspect outcome, since corrupted messages can fake it.
+    """
+    from ..certify import build_certificates
+    from ..congest.faults import FaultInjector, fault_override
+
+    if max_retries < 0:
+        raise ValueError("max_retries must be >= 0")
+    injector = (
+        faults
+        if isinstance(faults, (FaultInjector, type(None)))
+        else FaultInjector(faults)
+    )
+    master = RoundMetrics()
+    if tracer is not None:
+        master.observer = tracer
+    heal_log: list[str] = []
+    budget = 1 + max_retries
+    attempts = 0
+    rejections = 0
+    nonplanar_hits = 0
+    result: EmbeddingResult | None = None
+    last_report = None
+    last_error: BaseException | None = None
+
+    def stats() -> dict | None:
+        return injector.stats.to_dict() if injector is not None else None
+
+    with fault_override(injector), maybe_span(
+        tracer, "self-healing", kind="run", n=graph.num_nodes, m=graph.num_edges
+    ) as span:
+        while attempts < budget:
+            attempts += 1
+            stage = "embed" if result is None else "verify"
+            try:
+                if result is None:
+                    driver = DistributedPlanarEmbedding(
+                        graph,
+                        bandwidth_words=bandwidth_words,
+                        verify=True,
+                        splitter_strategy=splitter_strategy,
+                        tracer=tracer,
+                        certify=False,
+                    )
+                    try:
+                        result = driver.run()
+                    finally:
+                        # Rounds spent by a failed attempt are real costs:
+                        # fold the partial ledger into the master ledger.
+                        if driver.last_metrics is not None:
+                            master.absorb_serial(driver.last_metrics)
+                    result.metrics = master
+                if result.certificates is None:
+                    stage = "certify"
+                    result.certificates = build_certificates(
+                        result.graph,
+                        result.rotation_system,
+                        metrics=master,
+                        tracer=tracer,
+                    )
+                if corrupt_hook is not None:
+                    note = corrupt_hook(attempts, result)
+                    if note:
+                        heal_log.append(f"attempt {attempts}: adversary: {note}")
+                stage = "verify"
+                last_report = result.verify_distributed(metrics=master, tracer=tracer)
+            except NonPlanarNetworkError:
+                if injector is None or injector.plan.is_null:
+                    raise
+                # Under an active fault plan a corrupted exchange can fake
+                # a non-planarity witness — re-check like anything else.
+                # Two *consecutive* detections on fresh fault draws (the
+                # global clock advanced between attempts) confirm it: a
+                # genuinely non-planar input raises rather than burning
+                # the whole budget.
+                nonplanar_hits += 1
+                if nonplanar_hits >= 2:
+                    raise
+                last_error = None
+                heal_log.append(
+                    f"attempt {attempts}: {stage} reported non-planar under"
+                    " active faults; re-checking"
+                )
+                result = None
+                continue
+            except Exception as exc:  # noqa: BLE001 - see docstring: under
+                # faults almost any error is reachable; each is logged and
+                # converted into a bounded retry of the failed stage.
+                last_error = exc
+                heal_log.append(
+                    f"attempt {attempts}: {stage} failed:"
+                    f" {type(exc).__name__}: {exc}"
+                )
+                if stage == "embed":
+                    result = None
+                continue
+            nonplanar_hits = 0
+
+            if last_report.accepted:
+                if attempts > 1:
+                    heal_log.append(
+                        f"attempt {attempts}: certificate accepted by all"
+                        f" {last_report.nodes} nodes — healed"
+                    )
+                result.heal_attempts = attempts
+                result.heal_log = heal_log
+                result.fault_stats = stats()
+                if span is not None:
+                    span.attrs["heal_attempts"] = attempts
+                    span.attrs["healed"] = True
+                return result
+
+            rejections += 1
+            first = last_report.rejections[0] if last_report.rejections else None
+            heal_log.append(
+                f"attempt {attempts}: certificate REJECTED"
+                f" ({len(last_report.rejections)} rejections"
+                + (f", first: node {first.node!r} violated {first.predicate}" if first else "")
+                + ")"
+            )
+            if rejections == 1:
+                heal_log.append("healing: re-verifying (rejection may be transient)")
+            elif rejections == 2:
+                heal_log.append("healing: rebuilding certificates from the rotation system")
+                result.certificates = None
+                result.certification = None
+            else:
+                heal_log.append("healing: re-embedding from scratch")
+                result = None
+
+        if span is not None:
+            span.attrs["heal_attempts"] = attempts
+            span.attrs["healed"] = False
+
+    if last_report is not None and not last_report.accepted:
+        diagnosis = (
+            f"certificate still rejected after {attempts} attempts"
+            f" ({len(last_report.rejections)} rejecting nodes)"
+        )
+    elif last_error is not None:
+        diagnosis = (
+            f"execution kept failing after {attempts} attempts"
+            f" (last: {type(last_error).__name__}: {last_error})"
+        )
+    else:
+        diagnosis = f"no certified embedding within {attempts} attempts"
+    return DegradedResult(
+        graph=graph,
+        rotation=result.rotation if result is not None else None,
+        diagnosis=diagnosis,
+        attempts=attempts,
+        heal_log=heal_log,
+        metrics=master,
+        certification=last_report,
+        fault_stats=stats(),
+    )
 
 
 def distributed_planarity_test(

@@ -269,6 +269,30 @@ class Tracer:
             )
         )
 
+    def on_fault(self, kind: str, round_no: int, *detail: Any) -> None:
+        """The fault layer injected (or detected) a fault under the
+        current span — see :mod:`repro.congest.faults`.
+
+        Each fault becomes a structured ``fault`` event and bumps the
+        span's ``faults`` counter, so chaos runs show *where* in the
+        pipeline the schedule actually hit.
+        """
+        if not self._stack:
+            return
+        sp = self._stack[-1]
+        sp.attrs["faults"] = sp.attrs.get("faults", 0) + 1
+        sp.events.append(
+            TraceEvent(
+                "fault",
+                self._now(),
+                {
+                    "fault": kind,
+                    "round": round_no,
+                    "detail": ", ".join(repr(d) for d in detail),
+                },
+            )
+        )
+
     # -- export ------------------------------------------------------------
 
     def spans(self) -> Iterator[Span]:

@@ -6,11 +6,23 @@ embedding algorithm (Section 4): recursion operates on its subtrees, and
 Lemma 4.1).  BFS also gives every node ``n`` and a 2-approximation of
 ``D`` "in O(D) rounds" (Section 2); we expose those too.
 
-The construction is the textbook layered flood: the root announces layer
-0; an unassigned node adopts the minimum-ID neighbor among its first
-offers as parent and re-floods.  Children discover themselves via
-explicit join messages, so afterwards each node knows parent, children,
-and depth — exactly the local knowledge the recursion needs.
+The construction is a self-correcting layered flood: the root announces
+layer 0; a node adopts the lexicographically minimal ``(depth+1, id)``
+offer among the freshest depths heard from its neighbors, and keeps
+relaxing — re-announcing and retracting a stale ``join`` with an
+``unjoin`` — whenever a better offer arrives.  On a fault-free
+synchronous network every node hears all its distance-``d-1`` neighbors
+in the same round, so the relaxation fires exactly once per node and the
+message pattern is the textbook flood.  Under the reliable-delivery
+layer (:mod:`repro.congest.reliable`), where retransmissions skew
+arrival rounds, the relaxation converges to the *same canonical tree*:
+depth = true BFS distance, parent = minimum-ID neighbor one layer up.
+Downstream phases (Lemma 4.1 induced paths, the merge machinery) rely on
+the BFS level property — every graph edge spans at most one layer — so
+"first offer wins" is not merely suboptimal under delays, it is wrong.
+Children discover themselves via explicit join messages, so afterwards
+each node knows parent, children, and depth — exactly the local
+knowledge the recursion needs.
 """
 
 from __future__ import annotations
@@ -70,9 +82,12 @@ class BfsTree:
 class BfsProgram(NodeProgram):
     """Per-node BFS participant.
 
-    Event-driven: a node acts only on arriving ``layer``/``join``
-    messages (the root fires once in ``on_start``); an empty inbox is a
-    no-op, so the scheduler wakes only the BFS wavefront each round.
+    Event-driven: a node acts only on arriving ``layer``/``join``/
+    ``unjoin`` messages (the root fires once in ``on_start``); an empty
+    inbox is a no-op, so the scheduler wakes only the BFS wavefront each
+    round.  Every message carries the sender's current depth; ``join``
+    and ``unjoin`` double as depth announcements so a parent change
+    never needs two messages on one edge in one round.
     """
 
     event_driven = True
@@ -82,7 +97,8 @@ class BfsProgram(NodeProgram):
         self.root = root
         self.parent: NodeId | None = None
         self.depth: int | None = 0 if node_id == root else None
-        self.children: list[NodeId] = []
+        self.children: set[NodeId] = set()
+        self.offers: dict[NodeId, int] = {}  # freshest depth heard, per neighbor
         self.done = True  # quiescence-terminated
 
     def on_start(self) -> dict[NodeId, Any]:
@@ -91,19 +107,37 @@ class BfsProgram(NodeProgram):
         return {}
 
     def on_round(self, round_no: int, inbox: dict[NodeId, Any]) -> dict[NodeId, Any]:
-        outbox: dict[NodeId, Any] = {}
-        offers = {u: d for u, (tag, d) in inbox.items() if tag == "layer"}
-        for u, (tag, _) in inbox.items():
+        for u, (tag, d) in inbox.items():
             if tag == "join":
-                self.children.append(u)
-        if self.depth is None and offers:
-            parent = min(offers)  # deterministic tie-break: smallest ID
-            self.parent = parent
-            self.depth = offers[parent] + 1
-            outbox[parent] = ("join", 0)
-            for u in self.neighbors:
-                if u != parent:
-                    outbox[u] = ("layer", self.depth)
+                self.children.add(u)
+            elif tag == "unjoin":
+                self.children.discard(u)
+            self.offers[u] = d  # in-order links: the latest depth is freshest
+        return self._relax()
+
+    def _relax(self) -> dict[NodeId, Any]:
+        """Adopt the best known offer; announce and re-parent on improvement.
+
+        Depths only ever shrink, so the fixed point is the canonical
+        tree: ``depth`` = distance from the root, ``parent`` = the
+        minimum-ID neighbor one layer closer.  On a synchronous
+        fault-free network this fires exactly once per node (all
+        best offers arrive together), reproducing the plain flood.
+        """
+        if self.node_id == self.root or not self.offers:
+            return {}
+        parent, d = min(self.offers.items(), key=lambda kv: (kv[1], kv[0]))
+        if self.depth is not None and (d + 1, parent) >= (self.depth, self.parent):
+            return {}
+        old_parent = self.parent
+        self.parent = parent
+        self.depth = d + 1
+        outbox: dict[NodeId, Any] = {parent: ("join", self.depth)}
+        if old_parent is not None and old_parent != parent:
+            outbox[old_parent] = ("unjoin", self.depth)
+        for u in self.neighbors:
+            if u not in outbox:
+                outbox[u] = ("layer", self.depth)
         return outbox
 
     def result(self) -> tuple[NodeId | None, int | None, list[NodeId]]:

@@ -1,0 +1,265 @@
+"""The deterministic fault layer: spec parsing, seeded reproducibility,
+clean-path identity, and each fault class's observable behavior.
+
+The reproducibility contract is the satellite's RNG audit: every fault
+decision must derive from ``--fault-seed`` alone — never from Python's
+(process-salted) ``hash``, never from module-level ``random`` state — so
+a chaos run replays bit-for-bit from its seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.congest import (
+    CongestNetwork,
+    CrashWindow,
+    FaultInjector,
+    FaultPlan,
+    FaultSpecError,
+    LinkOutage,
+    RoundMetrics,
+    default_fault_injector,
+    fault_override,
+)
+from repro.planar import generators
+from repro.primitives.leader import elect_leader
+from tests.congest.test_scheduler_equivalence import fingerprint
+
+
+class TestFaultPlanParsing:
+    def test_full_spec(self):
+        plan = FaultPlan.parse(
+            "drop=0.05,dup=0.01,delay=0.1:2,corrupt=0.02,crash=2:5,link=1:6",
+            seed=9,
+        )
+        assert plan.seed == 9
+        assert plan.drop_rate == 0.05
+        assert plan.duplicate_rate == 0.01
+        assert plan.delay_rate == 0.1
+        assert plan.max_delay == 2
+        assert plan.corruption_rate == 0.02
+        assert plan.crash_count == 2
+        assert plan.crash_length == 5
+        assert plan.link_outage_count == 1
+        assert plan.link_outage_length == 6
+        assert not plan.is_null
+
+    def test_empty_spec_is_null(self):
+        assert FaultPlan.parse("").is_null
+        assert FaultPlan().is_null
+
+    def test_seed_in_spec_overrides_argument(self):
+        assert FaultPlan.parse("seed=42,drop=0.1", seed=7).seed == 42
+
+    @pytest.mark.parametrize("bad", [
+        "drop",  # no value
+        "drop=lots",  # not a float
+        "drop=1.5",  # out of range
+        "warp=0.1",  # unknown class
+        "delay=0.1:0",  # max_delay < 1
+        "crash=-1",  # negative count
+    ])
+    def test_bad_specs_raise_typed_error(self, bad):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse(bad)
+
+    def test_window_validation(self):
+        with pytest.raises(FaultSpecError):
+            CrashWindow(start=5, stop=5)
+        with pytest.raises(FaultSpecError):
+            CrashWindow(start=0, stop=3)  # round 0 does not exist
+        with pytest.raises(FaultSpecError):
+            LinkOutage(start=2, stop=6, u="a", v=None)  # one endpoint
+
+    def test_describe_mentions_every_active_class(self):
+        plan = FaultPlan.parse("drop=0.05,crash=1", seed=3)
+        text = plan.describe()
+        assert "seed=3" in text and "drop=0.05" in text and "crash-windows=1" in text
+        assert FaultPlan().describe() == "no faults (null plan)"
+
+
+class TestDeterminism:
+    """Identical seed → identical chaos, regardless of ambient RNG state."""
+
+    PLAN = dict(seed=13, drop_rate=0.15, duplicate_rate=0.05,
+                delay_rate=0.1, corruption_rate=0.05)
+
+    def _chaos_run(self):
+        graph = generators.grid_graph(4, 4)
+        m = RoundMetrics()
+        with fault_override(FaultPlan(**self.PLAN)) as injector:
+            leader = elect_leader(graph, metrics=m)
+        return leader, fingerprint(m), injector.stats.to_dict()
+
+    def test_repeat_run_bit_identical(self):
+        first = self._chaos_run()
+        # Aggressively perturb every ambient source of nondeterminism the
+        # fault path could illegally consult.
+        random.seed(999)
+        for _ in range(100):
+            random.random()
+        second = self._chaos_run()
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        base = self._chaos_run()
+        with fault_override(FaultPlan(**{**self.PLAN, "seed": 14})) as injector:
+            m = RoundMetrics()
+            elect_leader(generators.grid_graph(4, 4), metrics=m)
+        assert injector.stats.to_dict() != base[2]
+
+    def test_no_module_level_random_on_fault_path(self):
+        """Source audit: nothing on the delivery path may touch the
+        ``random`` module (the certify adversary uses it deliberately —
+        tampering is test harness, not fault path)."""
+        import repro.congest.faults as faults
+        import repro.congest.message as message
+        import repro.congest.network as network
+        import repro.congest.reliable as reliable
+
+        for mod in (faults, message, network, reliable):
+            assert not hasattr(mod, "random"), f"{mod.__name__} imports random"
+            with open(mod.__file__) as fh:
+                source = fh.read()
+            assert "import random" not in source, f"{mod.__name__} imports random"
+            assert "hash(" not in source, f"{mod.__name__} uses salted hash()"
+
+    def test_reseed_derives_new_seed(self):
+        plan = FaultPlan(seed=5, drop_rate=0.1)
+        assert plan.reseed(1).seed != plan.seed
+        assert plan.reseed(1) == plan.reseed(1)
+        assert plan.reseed(1).seed != plan.reseed(2).seed
+
+
+class TestNullPlanIdentity:
+    """A null plan activates the fault hook but must change *nothing*
+    observable: same results, same ledger, zero faults."""
+
+    def test_ledger_bit_identical(self):
+        graph = generators.grid_graph(5, 5)
+        m_clean = RoundMetrics()
+        leader_clean = elect_leader(graph, metrics=m_clean)
+        m_null = RoundMetrics()
+        with fault_override(FaultPlan()) as injector:
+            leader_null = elect_leader(graph, metrics=m_null)
+        assert leader_clean == leader_null
+        assert fingerprint(m_clean) == fingerprint(m_null)
+        assert m_clean.node_activations == m_null.node_activations
+        assert injector.stats.faults_injected == 0
+
+    def test_default_injector_scoping(self):
+        assert default_fault_injector() is None
+        with fault_override(FaultPlan(seed=1)) as outer:
+            assert default_fault_injector() is outer
+            with fault_override(None):
+                assert default_fault_injector() is None
+            assert default_fault_injector() is outer
+        assert default_fault_injector() is None
+
+    def test_explicit_argument_beats_default(self):
+        graph = generators.path_graph(3)
+        with fault_override(FaultPlan(seed=1, drop_rate=0.5)):
+            network = CongestNetwork(graph, faults=FaultPlan())
+            assert network.fault_stats is not None
+            assert network._fault_state.plan.is_null
+
+
+class TestFaultClasses:
+    """Each fault class leaves its fingerprint in the stats and the run
+    still completes correctly (the transparent ARQ wrap absorbs loss)."""
+
+    def _run(self, plan, rows=4, cols=4):
+        graph = generators.grid_graph(rows, cols)
+        m = RoundMetrics()
+        with fault_override(plan) as injector:
+            leader = elect_leader(graph, metrics=m)
+        assert leader == max(graph.nodes())
+        return injector.stats, m
+
+    def test_drops_absorbed(self):
+        stats, _ = self._run(FaultPlan(seed=3, drop_rate=0.2))
+        assert stats.dropped > 0
+        assert stats.recovery_messages > 0  # retransmits happened
+
+    def test_duplicates_discarded(self):
+        stats, _ = self._run(FaultPlan(seed=3, duplicate_rate=0.3))
+        assert stats.duplicated > 0
+
+    def test_delays_reorder(self):
+        stats, _ = self._run(FaultPlan(seed=3, delay_rate=0.4, max_delay=3))
+        assert stats.delayed > 0
+
+    def test_corruption_always_detected(self):
+        stats, _ = self._run(FaultPlan(seed=3, corruption_rate=0.2))
+        assert stats.corrupted > 0
+        assert stats.corruption_detected == stats.corrupted
+        assert stats.corruption_delivered == 0
+
+    def test_explicit_crash_window_survived(self):
+        graph = generators.grid_graph(4, 4)
+        victim = sorted(graph.nodes())[5]
+        plan = FaultPlan(seed=3, crashes=(CrashWindow(start=2, stop=6, node=victim),))
+        m = RoundMetrics()
+        with fault_override(plan) as injector:
+            leader = elect_leader(graph, metrics=m)
+        assert leader == max(graph.nodes())
+        assert injector.stats.crash_node_rounds > 0
+
+    def test_explicit_link_outage_survived(self):
+        graph = generators.grid_graph(4, 4)
+        u, v = sorted(graph.edges(), key=repr)[3]
+        plan = FaultPlan(seed=3, link_outages=(LinkOutage(start=2, stop=8, u=u, v=v),))
+        m = RoundMetrics()
+        with fault_override(plan) as injector:
+            leader = elect_leader(graph, metrics=m)
+        assert leader == max(graph.nodes())
+        assert injector.stats.link_dropped > 0
+
+    def test_auto_windows_resolved_per_seed(self):
+        plan = FaultPlan(seed=11, crash_count=2, link_outage_count=1)
+        crashes, outages = plan.all_windows()
+        assert len(crashes) == 2 and len(outages) == 1
+        assert all(w.stop - w.start == plan.crash_length for w in crashes)
+        # and they are a pure function of the seed
+        again, _ = FaultPlan(seed=11, crash_count=2, link_outage_count=1).all_windows()
+        assert crashes == again
+
+    def test_recovery_traffic_lands_in_ledger(self):
+        """Retransmit/ack traffic must show up under the ``recovery``
+        phase tag, separated from the real phase's own traffic."""
+        _, m = self._run(FaultPlan(seed=3, drop_rate=0.25))
+        phases = m.phase_breakdown()
+        assert "recovery" in phases
+        assert phases["recovery"]["messages"] > 0
+
+
+class TestSharedInjectorClock:
+    def test_clock_advances_across_networks(self):
+        graph = generators.path_graph(4)
+        injector = FaultInjector(FaultPlan(seed=2, drop_rate=0.3))
+        m = RoundMetrics()
+        assert injector.clock == 0
+        elect_leader(graph, metrics=m)  # clean run: clock untouched
+        with fault_override(injector):
+            elect_leader(graph, metrics=RoundMetrics())
+            after_first = injector.clock
+            elect_leader(graph, metrics=RoundMetrics())
+        assert after_first > 0
+        assert injector.clock > after_first
+
+    def test_fresh_draws_after_clock_advance(self):
+        """The same send in a later execution sees different fault draws
+        — this is what lets retries outrun a bad schedule."""
+        graph = generators.path_graph(4)
+        injector = FaultInjector(FaultPlan(seed=2, drop_rate=0.3))
+        outcomes = []
+        with fault_override(injector):
+            for _ in range(4):
+                before = injector.stats.dropped
+                elect_leader(graph, metrics=RoundMetrics())
+                outcomes.append(injector.stats.dropped - before)
+        # not every execution loses the identical number of frames
+        assert len(set(outcomes)) > 1

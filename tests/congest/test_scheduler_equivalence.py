@@ -16,11 +16,14 @@ import pytest
 
 from repro.congest import (
     CongestNetwork,
+    CrashWindow,
+    FaultPlan,
     NodeProgram,
     PayloadMeter,
     RoundLimitExceededError,
     RoundMetrics,
     default_scheduler,
+    fault_override,
     run_program,
     scheduler_override,
 )
@@ -305,6 +308,94 @@ class TestSchedulingContract:
         with pytest.raises(ValueError):
             with scheduler_override("lazy"):
                 pass  # pragma: no cover
+
+
+class TestFaultEquivalence:
+    """The chaos layer rides the single shared delivery hook, so an
+    identical :class:`FaultPlan` replayed on both scheduler loops must
+    produce identical ledgers, identical results, and an identical fault
+    history — the differential property the satellite demands.
+
+    Every run constructs a *fresh* plan (and hence a fresh injector with
+    its clock at zero), so both loops see the very same global-round
+    fault draws.
+    """
+
+    CHAOS_KW = dict(
+        seed=31, drop_rate=0.1, duplicate_rate=0.05,
+        delay_rate=0.1, max_delay=3, corruption_rate=0.05,
+    )
+
+    def _both(self, run):
+        out = {}
+        for scheduler in ("dense", "event"):
+            with scheduler_override(scheduler):
+                with fault_override(FaultPlan(**self.CHAOS_KW)) as injector:
+                    m = RoundMetrics()
+                    out[scheduler] = (run(m), m, injector.stats.to_dict())
+        return out["dense"], out["event"]
+
+    @pytest.mark.parametrize("family", ["grid", "cycle", "tree"])
+    def test_leader_election_under_chaos(self, family):
+        graph = GRAPHS[family]()
+        (rd, md, sd), (re_, me, se) = self._both(
+            lambda m: elect_leader(graph, metrics=m)
+        )
+        assert rd == re_ == max(graph.nodes())
+        assert fingerprint(md) == fingerprint(me)
+        assert sd == se  # same drops, same delays, same corruptions
+
+    def test_bfs_under_chaos(self):
+        graph = GRAPHS["grid"]()
+        root = max(graph.nodes())
+
+        def run(m):
+            t = build_bfs_tree(graph, root, metrics=m)
+            return (t.parent, t.depth_of)
+
+        (rd, md, sd), (re_, me, se) = self._both(run)
+        assert rd == re_
+        assert fingerprint(md) == fingerprint(me)
+        assert sd == se
+
+    def test_crash_window_replayed_identically(self):
+        graph = GRAPHS["grid"]()
+        victim = sorted(graph.nodes())[7]
+        crash = CrashWindow(start=2, stop=6, node=victim)
+        out = {}
+        for scheduler in ("dense", "event"):
+            with scheduler_override(scheduler):
+                plan = FaultPlan(seed=8, drop_rate=0.05, crashes=(crash,))
+                with fault_override(plan) as injector:
+                    m = RoundMetrics()
+                    out[scheduler] = (
+                        elect_leader(graph, metrics=m), m, injector.stats.to_dict()
+                    )
+        (rd, md, sd), (re_, me, se) = out["dense"], out["event"]
+        assert rd == re_ == max(graph.nodes())
+        assert fingerprint(md) == fingerprint(me)
+        assert sd == se
+        assert sd["crash_node_rounds"] > 0
+
+    def test_self_healing_pipeline_under_chaos(self):
+        """The full chaos pipeline — embed, certify, verify, heal — is
+        scheduler-invariant: same rotations, same ledger, same faults."""
+        from repro.core import self_healing_embedding
+
+        graph = generators.grid_graph(4, 4)
+        results = {}
+        for scheduler in ("dense", "event"):
+            with scheduler_override(scheduler):
+                results[scheduler] = self_healing_embedding(
+                    graph, faults=FaultPlan(seed=5, drop_rate=0.04, corruption_rate=0.02)
+                )
+        dense, event = results["dense"], results["event"]
+        assert not getattr(dense, "degraded", False)
+        assert not getattr(event, "degraded", False)
+        assert dense.rotation == event.rotation
+        assert dense.heal_attempts == event.heal_attempts
+        assert dense.fault_stats == event.fault_stats
+        assert fingerprint(dense.metrics) == fingerprint(event.metrics)
 
 
 class TestPayloadMeter:

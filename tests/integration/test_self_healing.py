@@ -1,0 +1,224 @@
+"""Certificate-driven self-healing: the driver detects a bad embedding
+with the distributed certifier and re-executes only as much as the
+evidence demands — re-verify, re-certify, re-embed — surfacing a
+structured :class:`DegradedResult` when the budget runs out.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.certify import TAMPER_CLASSES, apply_tamper
+from repro.congest import CrashWindow, FaultPlan
+from repro.core import (
+    DegradedResult,
+    NonPlanarNetworkError,
+    distributed_planar_embedding,
+    self_healing_embedding,
+)
+from repro.obs import Tracer
+from repro.planar import generators
+from repro.planar.graph import Graph
+
+
+def k5() -> Graph:
+    g = Graph()
+    for i in range(5):
+        for j in range(i + 1, 5):
+            g.add_edge(i, j)
+    return g
+
+
+class TestCleanRuns:
+    def test_clean_run_matches_plain_certified_run(self):
+        """Without faults, self-healing is the plain pipeline: same
+        rotation, one attempt, no fault counters."""
+        graph = generators.grid_graph(5, 5)
+        healed = self_healing_embedding(graph)
+        plain = distributed_planar_embedding(graph, certify=True)
+        assert not getattr(healed, "degraded", False)
+        assert healed.rotation == plain.rotation
+        assert healed.heal_attempts == 1
+        assert healed.heal_log == []
+        assert healed.fault_stats is None
+        assert healed.certification.accepted
+        assert healed.metrics.rounds == plain.metrics.rounds
+
+    def test_nonplanar_raises_when_clean(self):
+        with pytest.raises(NonPlanarNetworkError):
+            self_healing_embedding(k5())
+
+    def test_nonplanar_confirmed_under_faults(self):
+        """One non-planar detection under faults is re-checked; a second
+        consecutive detection (fresh fault draws) confirms and raises."""
+        with pytest.raises(NonPlanarNetworkError):
+            self_healing_embedding(
+                k5(), faults=FaultPlan(seed=3, drop_rate=0.02), max_retries=4
+            )
+
+    def test_max_retries_validated(self):
+        with pytest.raises(ValueError):
+            self_healing_embedding(generators.path_graph(3), max_retries=-1)
+
+
+class TestTamperHealing:
+    """Every tamper class is caught by the certifier and healed within
+    the escalation ladder (certificate tampers need a certificate
+    rebuild; rotation tampers need a full re-embed)."""
+
+    @pytest.mark.parametrize("tamper", sorted(TAMPER_CLASSES))
+    def test_tamper_healed(self, tamper):
+        graph = generators.triangulated_grid(4, 4)
+        seen = []
+
+        def corrupt_once(attempt, result):
+            if attempt == 1:
+                note = apply_tamper(
+                    tamper, result.graph, result.rotation, result.certificates,
+                    seed=7,
+                )
+                seen.append(note)
+                return note
+            return None
+
+        result = self_healing_embedding(graph, corrupt_hook=corrupt_once)
+        assert not getattr(result, "degraded", False), result.diagnosis
+        assert seen, "hook never ran"
+        assert result.heal_attempts > 1  # damage was detected, not ignored
+        assert result.certification.accepted
+        assert any("adversary" in line for line in result.heal_log)
+        assert any("REJECTED" in line for line in result.heal_log)
+
+    def test_healing_is_traced(self):
+        tracer = Tracer()
+        graph = generators.grid_graph(4, 4)
+
+        def corrupt_once(attempt, result):
+            if attempt == 1:
+                return apply_tamper(
+                    "bit-flip", result.graph, result.rotation,
+                    result.certificates, seed=3,
+                )
+            return None
+
+        result = self_healing_embedding(graph, tracer=tracer, corrupt_hook=corrupt_once)
+        assert result.certification.accepted
+        root = tracer.root
+        assert root.name == "self-healing"
+        assert root.attrs["healed"] is True
+        assert root.attrs["heal_attempts"] == result.heal_attempts
+        # the rollup invariant survives multi-attempt absorption
+        assert root.total_rounds() == result.metrics.rounds
+
+    def test_report_carries_healing_block(self):
+        graph = generators.grid_graph(4, 4)
+
+        def corrupt_once(attempt, result):
+            if attempt == 1:
+                return apply_tamper(
+                    "bit-flip", result.graph, result.rotation,
+                    result.certificates, seed=3,
+                )
+            return None
+
+        result = self_healing_embedding(graph, corrupt_hook=corrupt_once)
+        report = result.to_report()
+        assert report["healing"]["attempts"] == result.heal_attempts
+        assert any("adversary" in line for line in report["healing"]["log"])
+
+
+class TestDegradedPath:
+    def test_persistent_tamper_exhausts_budget(self):
+        """An adversary that re-corrupts every attempt defeats healing;
+        the driver must surface a structured DegradedResult — not crash,
+        not loop forever."""
+        graph = generators.grid_graph(4, 4)
+
+        def corrupt_always(attempt, result):
+            return apply_tamper(
+                "bit-flip", result.graph, result.rotation, result.certificates,
+                seed=attempt,
+            )
+
+        result = self_healing_embedding(
+            graph, corrupt_hook=corrupt_always, max_retries=1
+        )
+        assert isinstance(result, DegradedResult)
+        assert result.degraded is True
+        assert result.attempts == 2
+        assert "rejected" in result.diagnosis
+        assert result.rotation is not None  # partial state retained
+        assert result.certification is not None
+        assert not result.certification.accepted
+        report = result.to_report()
+        assert report["type"] == "degraded-report"
+        assert report["planar"] is None
+        assert report["healing"]["attempts"] == 2
+        assert report["partial_rotation"]
+
+    def test_degraded_metrics_cover_all_attempts(self):
+        graph = generators.grid_graph(3, 3)
+        plain = distributed_planar_embedding(graph, certify=True)
+
+        def corrupt_always(attempt, result):
+            return apply_tamper(
+                "bit-flip", result.graph, result.rotation, result.certificates,
+                seed=attempt,
+            )
+
+        result = self_healing_embedding(
+            graph, corrupt_hook=corrupt_always, max_retries=2
+        )
+        assert isinstance(result, DegradedResult)
+        # three verification attempts cost strictly more than one clean run
+        assert result.metrics.rounds > plain.metrics.rounds
+
+
+class TestChaosHealing:
+    """The acceptance bar: a seeded plan with drop <= 0.05 and <= 2
+    crash windows still yields a certified embedding, even with an
+    adversary corrupting the first attempt on top."""
+
+    PLAN = FaultPlan(
+        seed=17,
+        drop_rate=0.05,
+        corruption_rate=0.02,
+        crashes=(CrashWindow(start=3, stop=7), CrashWindow(start=10, stop=13)),
+    )
+
+    def test_chaos_run_certified(self):
+        graph = generators.grid_graph(4, 4)
+        result = self_healing_embedding(graph, faults=self.PLAN)
+        assert not getattr(result, "degraded", False), result.diagnosis
+        assert result.certification.accepted
+        assert result.fault_stats is not None
+        assert result.fault_stats["faults_injected"] > 0
+        assert result.fault_stats["corruption_delivered"] == 0
+
+    def test_chaos_plus_tamper_healed(self):
+        graph = generators.grid_graph(4, 4)
+
+        def corrupt_once(attempt, result):
+            if attempt == 1:
+                return apply_tamper(
+                    "rotation-swap", result.graph, result.rotation,
+                    result.certificates, seed=5,
+                )
+            return None
+
+        result = self_healing_embedding(
+            graph, faults=FaultPlan(seed=23, drop_rate=0.03), corrupt_hook=corrupt_once
+        )
+        assert not getattr(result, "degraded", False), result.diagnosis
+        assert result.heal_attempts > 1
+        assert result.certification.accepted
+
+    def test_chaos_run_reproducible(self):
+        """The whole chaos pipeline replays bit-for-bit from the seed."""
+        graph = generators.grid_graph(4, 4)
+        a = self_healing_embedding(graph, faults=self.PLAN)
+        b = self_healing_embedding(graph, faults=self.PLAN)
+        assert a.rotation == b.rotation
+        assert a.heal_attempts == b.heal_attempts
+        assert a.fault_stats == b.fault_stats
+        assert a.metrics.rounds == b.metrics.rounds

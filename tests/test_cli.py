@@ -139,6 +139,86 @@ class TestCertification:
         assert "injected failure" in report["error"]
 
 
+class TestFaults:
+    def test_chaos_run_heals_and_exits_zero(self, capsys):
+        code = main([
+            "--demo", "grid", "4", "4",
+            "--faults", "drop=0.05,corrupt=0.02", "--fault-seed", "7", "--quiet",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "self-healing" in out
+        assert "chaos schedule: seed=7" in out
+        assert "recovery" in out  # the ledger shows the overhead phase
+        assert "certification ACCEPTED" in out
+
+    def test_degraded_exits_four(self, capsys):
+        code = main([
+            "--demo", "path", "4",
+            "--faults", "drop=0.9", "--max-retries", "0", "--quiet",
+        ])
+        out = capsys.readouterr().out
+        assert code == 4
+        assert "DEGRADED" in out
+        assert "healing attempts: 1" in out
+
+    def test_degraded_json_report(self, capsys):
+        code = main([
+            "--demo", "path", "4",
+            "--faults", "drop=0.9", "--max-retries", "0", "--json",
+        ])
+        captured = capsys.readouterr()
+        assert code == 4
+        report = json.loads(captured.out)
+        assert report["type"] == "degraded-report"
+        assert report["planar"] is None
+        assert report["healing"]["attempts"] == 1
+        assert report["fault_stats"]["faults_injected"] > 0
+        assert "DEGRADED" in captured.err
+
+    def test_healed_json_report_carries_fault_stats(self, capsys):
+        code = main([
+            "--demo", "grid", "4", "4",
+            "--faults", "drop=0.05", "--fault-seed", "3", "--json",
+        ])
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert report["algorithm"] == "theorem-1.1-self-healing"
+        assert report["fault_stats"]["dropped"] > 0
+        assert report["certification"]["accepted"] is True
+        assert "recovery" in report["metrics"]["phases"]
+
+    def test_fault_seed_reproducible(self, capsys):
+        args = ["--demo", "grid", "4", "4", "--faults", "drop=0.1,dup=0.05",
+                "--fault-seed", "11", "--json"]
+        first = (main(args), capsys.readouterr().out)
+        second = (main(args), capsys.readouterr().out)
+        # wall_s differs between runs; everything else must not
+        a, b = json.loads(first[1]), json.loads(second[1])
+        a.pop("wall_s"), b.pop("wall_s")
+        assert first[0] == second[0] == 0
+        assert a == b
+
+    def test_bad_fault_spec_is_usage_error(self):
+        with pytest.raises(SystemExit) as info:
+            main(["--demo", "grid", "3", "3", "--faults", "warp=0.5"])
+        assert info.value.code == 2
+
+    def test_faults_with_baseline_conflict(self):
+        with pytest.raises(SystemExit):
+            main(["--demo", "grid", "3", "3", "--baseline", "--faults", "drop=0.1"])
+
+    def test_nonplanar_under_faults_still_exits_one(self, tmp_path, capsys):
+        f = tmp_path / "k5.txt"
+        f.write_text(
+            "\n".join(f"{i} {j}" for i in range(5) for j in range(i + 1, 5))
+        )
+        code = main([str(f), "--faults", "drop=0.02", "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "NOT PLANAR" in out
+
+
 class TestSeededDemos:
     def test_seed_reproducible(self, capsys):
         main(["--demo", "maximal", "18", "--seed", "7"])

@@ -6,6 +6,7 @@ Usage::
     python -m repro --demo grid 8 8
     python -m repro --demo grid 8 8 --trace run.jsonl --json
     python -m repro --view-trace run.jsonl
+    python -m repro trace-diff a.jsonl b.jsonl
 
 The edge-list format is one edge per line, two whitespace-separated
 integer node IDs; blank lines and ``#`` comments are ignored.  The tool
@@ -18,7 +19,15 @@ Observability: ``--trace FILE`` writes a JSONL span trace of the run
 stdout, ``--profile`` wraps the run in cProfile (top-20 cumulative
 entries land in the JSON report, or a human table otherwise), and
 ``--view-trace FILE`` renders a previously captured trace as an ASCII
-recursion tree + phase timeline.  Whenever stdout carries
+recursion tree + phase timeline.  ``--causal`` attaches the
+message-level causal recorder (:mod:`repro.obs.causal`) and prints the
+critical-path length against the measured rounds and the paper's
+D*log n prediction; ``--flight FILE`` (with ``--faults``) dumps the
+crash flight recorder's JSONL; ``--perfetto FILE`` exports the span
+tree and causal lanes as a Chrome trace-event file loadable in
+Perfetto.  ``trace-diff A B`` (a subcommand, before any flags) diffs
+two JSONL traces structurally and reports the first divergence — exit
+0 identical, 1 divergent, 2 unreadable.  Whenever stdout carries
 machine output, the human-readable report moves to stderr.
 
 Certification: ``--certify`` appends the :mod:`repro.certify` phases —
@@ -46,8 +55,10 @@ was produced (the partial state and diagnosis are reported).
 from __future__ import annotations
 
 import argparse
+import contextlib
 import functools
 import json
+import math
 import sys
 import time
 
@@ -113,7 +124,42 @@ def view_trace(path: str) -> int:
     return 0
 
 
+def trace_diff_cli(argv: list[str]) -> int:
+    """The ``trace-diff`` subcommand: structural diff of two JSONL traces."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace-diff",
+        description="Structurally diff two JSONL span traces "
+                    "(wall-clock fields and span ids are ignored)",
+    )
+    parser.add_argument("trace_a", help="first JSONL trace file")
+    parser.add_argument("trace_b", help="second JSONL trace file")
+    parser.add_argument("--limit", type=int, default=16, metavar="N",
+                        help="max divergences to report (default 16)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the diff report as JSON")
+    args = parser.parse_args(argv)
+    if args.limit < 1:
+        parser.error("--limit must be >= 1")
+    from .analysis import diff_traces, render_diff
+
+    try:
+        report = diff_traces(args.trace_a, args.trace_b, limit=args.limit)
+    except (OSError, ValueError) as exc:
+        print(f"trace-diff: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(report, default=repr))
+        if not report["identical"]:
+            print(render_diff(report), file=sys.stderr)
+    else:
+        print(render_diff(report))
+    return 0 if report["identical"] else 1
+
+
 def main(argv: list[str] | None = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "trace-diff":
+        return trace_diff_cli(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Distributed planar embedding (Ghaffari-Haeupler, PODC 2016)",
@@ -162,6 +208,18 @@ def main(argv: list[str] | None = None) -> int:
                              "table otherwise)")
     parser.add_argument("--view-trace", metavar="FILE", dest="view_trace",
                         help="render a JSONL trace as an ASCII tree and exit")
+    parser.add_argument("--causal", action="store_true",
+                        help="attach the message-level causal recorder and "
+                             "report critical-path length vs measured rounds "
+                             "vs the paper's D*log n prediction")
+    parser.add_argument("--flight", metavar="FILE",
+                        help="with --faults: dump the crash flight recorder "
+                             "(last-K delivery/fault/ARQ events per node) as "
+                             "JSONL to FILE")
+    parser.add_argument("--perfetto", metavar="FILE", dest="perfetto",
+                        help="export the span tree and causal lanes as a "
+                             "Chrome trace-event file (load in "
+                             "ui.perfetto.dev)")
     args = parser.parse_args(argv)
 
     if args.view_trace is not None:
@@ -203,7 +261,25 @@ def main(argv: list[str] | None = None) -> int:
             parser.error(str(exc))
         certify = True  # healing is certificate-driven
 
-    tracer = Tracer() if args.trace is not None else None
+    if args.flight is not None and fault_plan is None:
+        parser.error("--flight records chaos events; it needs --faults")
+
+    # --perfetto exports the span tree, so it implies span tracing even
+    # when no JSONL --trace sink was asked for.
+    tracer = Tracer() if (args.trace is not None or args.perfetto is not None) else None
+    causal_recorder = None
+    flight_recorder = None
+    overrides = contextlib.ExitStack()
+    if args.causal or args.perfetto is not None:
+        from .obs import CausalRecorder, causal_override
+
+        causal_recorder = CausalRecorder()
+        overrides.enter_context(causal_override(causal_recorder))
+    if args.flight is not None:
+        from .obs import FlightRecorder, flight_override
+
+        flight_recorder = FlightRecorder()
+        overrides.enter_context(flight_override(flight_recorder))
     # Open the trace sink before the (possibly long) run so a bad path
     # fails fast instead of discarding the finished trace.
     trace_sink = None
@@ -237,6 +313,8 @@ def main(argv: list[str] | None = None) -> int:
                 max_retries=args.max_retries,
                 tracer=tracer,
                 faults=fault_plan,
+                flight=flight_recorder,
+                flight_path=args.flight,
             )
             say("algorithm: self-healing Theorem 1.1 pipeline")
             say(f"chaos schedule: {fault_plan.describe()}")
@@ -249,8 +327,10 @@ def main(argv: list[str] | None = None) -> int:
     except EmbeddingViolation as exc:
         # The computed output failed the centralized referee: an
         # algorithm bug, distinct from non-planar *input* (exit 1).
+        overrides.close()
         _stop_profiler(profiler)
         _dump_trace(tracer, trace_sink)
+        _dump_flight(flight_recorder, args.flight)
         say(f"result: EMBEDDING REJECTED — {exc}")
         if args.json:
             print(json.dumps({
@@ -263,9 +343,11 @@ def main(argv: list[str] | None = None) -> int:
             }))
         return 3
     except NonPlanarNetworkError:
+        overrides.close()
         wall_s = time.perf_counter() - t0
         profile_rows = _stop_profiler(profiler)
         _dump_trace(tracer, trace_sink)
+        _dump_flight(flight_recorder, args.flight)
         say("result: NOT PLANAR")
         witness = kuratowski_subgraph(graph)
         kind = classify_kuratowski(witness)
@@ -292,10 +374,22 @@ def main(argv: list[str] | None = None) -> int:
         elif profile_rows is not None:
             _print_profile(say, profile_rows)
         return 1
+    overrides.close()
     wall_s = time.perf_counter() - t0
     profile_rows = _stop_profiler(profiler)
 
     _dump_trace(tracer, trace_sink)
+    _dump_flight(flight_recorder, args.flight)
+    causal_report = causal_recorder.report() if causal_recorder is not None else None
+    if args.perfetto is not None:
+        from .obs import export_chrome_trace
+
+        export_chrome_trace(args.perfetto, spans=tracer, causal=causal_recorder)
+        say(f"perfetto trace written to {args.perfetto}")
+    if causal_report is not None and hasattr(result, "causal"):
+        # A self-healing result's snapshot predates later executions;
+        # the recorder's final report supersedes it.
+        result.causal = causal_report
     if getattr(result, "degraded", False):
         # The self-healing retry budget ran out: report the structured
         # partial state instead of pretending nothing was computed.
@@ -309,10 +403,14 @@ def main(argv: list[str] | None = None) -> int:
         if result.rotation is not None:
             say("partial (uncertified) rotation retained"
                 f" for {len(result.rotation)} nodes")
+        if args.causal and causal_report is not None:
+            _say_causal(say, causal_report, result, graph)
         if args.json:
             report = result.to_report()
             report["wall_s"] = round(wall_s, 6)
             report["algorithm"] = "theorem-1.1-self-healing"
+            if causal_report is not None:
+                report["causal"] = causal_report
             if profile_rows is not None:
                 report["profile"] = profile_rows
             print(json.dumps(report, default=repr))
@@ -320,6 +418,8 @@ def main(argv: list[str] | None = None) -> int:
             _print_profile(say, profile_rows)
         return 4
     say(f"result: planar embedding in {result.rounds} CONGEST rounds")
+    if args.causal and causal_report is not None:
+        _say_causal(say, causal_report, result, graph)
     if getattr(result, "heal_attempts", 0):
         if result.heal_attempts > 1:
             say(f"self-healing: certified after {result.heal_attempts} attempts")
@@ -455,6 +555,32 @@ def _dump_trace(tracer: Tracer | None, sink) -> None:
     tracer.write_jsonl(sink)
     if sink is not sys.stdout:
         sink.close()
+
+
+def _dump_flight(recorder, path: str | None) -> None:
+    if recorder is None or path is None:
+        return
+    recorder.dump(path)
+
+
+def _say_causal(say, report: dict, result, graph) -> None:
+    """The --causal summary: critical path vs rounds vs the paper bound."""
+    cp = report["critical_path"]
+    rr = report["real_rounds"]
+    say(f"causal: critical path {cp} over {report['executions']} executions;"
+        f" {rr} real message rounds; ledger total {result.metrics.rounds} rounds")
+    d_upper = getattr(result, "diameter_upper", 0)
+    if d_upper:
+        log_n = max(1, math.ceil(math.log2(max(2, graph.num_nodes))))
+        bound = d_upper * log_n
+        say(f"paper prediction O(D log n): D<={d_upper}, log2(n)={log_n} ->"
+            f" {bound} rounds per phase-chain; critical/bound = {cp / bound:.2f}")
+    for phase, row in sorted(
+        report["phases"].items(), key=lambda x: -x[1]["critical_path"]
+    ):
+        say(f"  {phase:32s} critical {row['critical_path']:6d} /"
+            f" {row['rounds']:6d} rounds  {row['messages']:8d} msgs"
+            f"  ({row['executions']} execs)")
 
 
 if __name__ == "__main__":

@@ -8,6 +8,7 @@ from .complexity import (
     headline_bound,
 )
 from .tables import format_table, print_table, verdict
+from .tracediff import Divergence, diff_spans, diff_traces, render_diff
 from .traceview import load_trace, render_phase_timeline, render_trace_tree
 
 __all__ = [
@@ -22,4 +23,8 @@ __all__ = [
     "load_trace",
     "render_trace_tree",
     "render_phase_timeline",
+    "Divergence",
+    "diff_spans",
+    "diff_traces",
+    "render_diff",
 ]

@@ -19,7 +19,7 @@ from collections.abc import Iterable, Mapping
 from pathlib import Path
 from typing import Any
 
-from ..obs.tracer import Span
+from ..obs.tracer import TRACE_FORMAT_VERSION, Span, TraceFormatError
 
 __all__ = ["load_trace", "render_trace_tree", "render_phase_timeline"]
 
@@ -50,8 +50,18 @@ def load_trace(source: Any) -> Span:
             record = json.loads(line)
         except json.JSONDecodeError as exc:
             raise ValueError(f"trace line {lineno} is not JSON: {exc}") from exc
+        if not isinstance(record, dict):
+            raise TraceFormatError(f"trace line {lineno} is not an object")
+        if record.get("type") == "trace":
+            version = record.get("version")
+            if version != TRACE_FORMAT_VERSION:
+                raise TraceFormatError(
+                    f"unsupported trace format version {version!r}"
+                    f" (this build reads {TRACE_FORMAT_VERSION})"
+                )
+            continue
         if record.get("type") != "span":
-            continue  # header / future record types
+            continue  # future record types ride through
         sp = Span.from_dict(record)
         spans[sp.span_id] = sp
         parent = spans.get(sp.parent_id) if sp.parent_id is not None else None

@@ -56,6 +56,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterator
 
+from ..obs.flightrec import default_flight_recorder
 from .errors import FaultSpecError, MessageCorruptionError
 from .message import Message, flip_bit
 
@@ -375,7 +376,7 @@ class FaultState:
         "injector", "plan", "stats", "graph", "_nodes", "_edges", "_offset",
         "_delayed", "current_round", "_crashed", "restarted", "_down_links",
         "_round_payload", "_round_recovery", "_run_recovery_msgs",
-        "_run_recovery_words", "_run_recovery_rounds", "_on_fault",
+        "_run_recovery_words", "_run_recovery_rounds", "_on_fault", "_flight",
     )
 
     def __init__(self, injector: FaultInjector, graph: Any, observer: Any = None) -> None:
@@ -397,6 +398,10 @@ class FaultState:
         self._run_recovery_words = 0
         self._run_recovery_rounds = 0
         self._on_fault = getattr(observer, "on_fault", None) if observer is not None else None
+        # Crash flight recorder (repro.obs.flightrec): fetched once here,
+        # like the injector — no recorder installed means no per-frame
+        # flight code at all.
+        self._flight = default_flight_recorder()
 
     # -- round lifecycle ---------------------------------------------------
 
@@ -440,6 +445,10 @@ class FaultState:
                     self.stats.crash_inbox_drops += len(box)
                     if self._on_fault is not None:
                         self._on_fault("crash-inbox-drop", round_no, v, len(box))
+                    if self._flight is not None:
+                        self._flight.record(
+                            v, "crash-inbox-drop", round_no, frames=len(box)
+                        )
         return in_flight
 
     def _enter_round(self, round_no: int) -> None:
@@ -525,16 +534,25 @@ class FaultState:
         g = self._offset + self.current_round
         seed = plan.seed
         on_fault = self._on_fault
+        flight = self._flight
+        if flight is not None:
+            flight.record(
+                sender, "send", self.current_round, to=repr(receiver), words=words
+            )
 
         if self._down_links and frozenset((sender, receiver)) in self._down_links:
             stats.link_dropped += 1
             if on_fault is not None:
                 on_fault("link-drop", self.current_round, sender, receiver)
+            if flight is not None:
+                flight.record(receiver, "link-drop", self.current_round, frm=repr(sender))
             return
         if plan.drop_rate and _unit(seed, "drop", g, sender, receiver) < plan.drop_rate:
             stats.dropped += 1
             if on_fault is not None:
                 on_fault("drop", self.current_round, sender, receiver)
+            if flight is not None:
+                flight.record(receiver, "drop", self.current_round, frm=repr(sender))
             return
         if plan.corruption_rate and (
             _unit(seed, "corrupt", g, sender, receiver) < plan.corruption_rate
@@ -545,6 +563,11 @@ class FaultState:
                 stats.corruption_detected += 1
                 if on_fault is not None:
                     on_fault("corruption-detected", self.current_round, sender, receiver)
+                if flight is not None:
+                    flight.record(
+                        receiver, "corruption-detected", self.current_round,
+                        frm=repr(sender),
+                    )
                 return  # CRC failure: the link layer discards the frame
             stats.corruption_delivered += 1
 
@@ -556,6 +579,11 @@ class FaultState:
             stats.delayed += 1
             if on_fault is not None:
                 on_fault("delay", self.current_round, sender, receiver)
+            if flight is not None:
+                flight.record(
+                    receiver, "delay", self.current_round,
+                    frm=repr(sender), until=arrival + extra,
+                )
             self._delayed.setdefault(arrival + extra, []).append((receiver, sender, payload))
         else:
             box = in_flight.get(receiver)
@@ -563,6 +591,8 @@ class FaultState:
                 in_flight[receiver] = {sender: payload}
             else:
                 box[sender] = payload
+            if flight is not None:
+                flight.record(receiver, "deliver", self.current_round, frm=repr(sender))
         stats.delivered += 1
 
         if plan.duplicate_rate and (
@@ -574,6 +604,11 @@ class FaultState:
             stats.duplicated += 1
             if on_fault is not None:
                 on_fault("duplicate", self.current_round, sender, receiver)
+            if flight is not None:
+                flight.record(
+                    receiver, "duplicate", self.current_round,
+                    frm=repr(sender), echo=arrival + echo,
+                )
             self._delayed.setdefault(arrival + echo, []).append((receiver, sender, payload))
 
     def _corrupt(self, sender, receiver, payload, g: int) -> tuple[Any, bool]:

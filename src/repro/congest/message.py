@@ -302,14 +302,27 @@ class Message:
 
     ``encode``/``decode`` round-trip through the length-prefixed,
     CRC-32-protected byte frame described in the module docstring.
+
+    ``lamport`` optionally piggybacks the sender's Lamport chain clock
+    (see :mod:`repro.obs.causal`) on the frame: when set, the body is a
+    4-tuple ``(sender, receiver, payload, lamport)`` — a constant O(log
+    rounds)-bit rider, so it never changes the *word* measurement of the
+    payload the bandwidth discipline charges.  Decoding accepts both
+    shapes, so traced and untraced peers interoperate.
     """
 
     sender: Any
     receiver: Any
     payload: Any
+    lamport: int | None = None
 
     def encode(self) -> bytes:
-        body = encode_payload((self.sender, self.receiver, self.payload))
+        if self.lamport is None:
+            body = encode_payload((self.sender, self.receiver, self.payload))
+        else:
+            body = encode_payload(
+                (self.sender, self.receiver, self.payload, self.lamport)
+            )
         return struct.pack(">I", len(body)) + body + struct.pack(">I", zlib.crc32(body))
 
     @classmethod
@@ -326,10 +339,16 @@ class Message:
         (crc,) = struct.unpack_from(">I", blob, 4 + length)
         if zlib.crc32(body) != crc:
             raise MessageCorruptionError("CRC-32 checksum mismatch")
-        triple = decode_payload(body)
-        if not isinstance(triple, tuple) or len(triple) != 3:
-            raise MessageCorruptionError("frame body is not a (sender, receiver, payload) triple")
-        return cls(*triple)
+        fields = decode_payload(body)
+        if not isinstance(fields, tuple) or len(fields) not in (3, 4):
+            raise MessageCorruptionError(
+                "frame body is not a (sender, receiver, payload[, lamport]) tuple"
+            )
+        if len(fields) == 4 and not (
+            isinstance(fields[3], int) and not isinstance(fields[3], bool)
+        ):
+            raise MessageCorruptionError("frame lamport stamp is not an integer")
+        return cls(*fields)
 
 
 def flip_bit(blob: bytes, bit: int) -> bytes:

@@ -31,6 +31,7 @@ from collections.abc import Callable, Mapping
 from contextlib import contextmanager
 from typing import Any, Iterator
 
+from ..obs.causal import default_causal_recorder
 from ..planar.graph import Graph, NodeId
 from .errors import BandwidthExceededError, ProtocolViolationError, RoundLimitExceededError
 from .faults import FaultInjector, FaultPlan, FaultState, default_fault_injector
@@ -145,6 +146,13 @@ class CongestNetwork:
         else:
             self._fault_state = None
             self._deliver = self._post_outbox
+        # Causal recorder (see repro.obs.causal): when one is installed
+        # via ``causal_override``, wrap the delivery hook once, here.  An
+        # unrecorded network keeps the unwrapped hook — the per-round hot
+        # path carries no causal code at all.
+        self._causal = default_causal_recorder()
+        if self._causal is not None:
+            self._deliver = self._causal.wrap_post(self._deliver)
 
     @property
     def fault_stats(self):
@@ -184,11 +192,19 @@ class CongestNetwork:
             programs, extra_bandwidth = self._wrap_reliable(programs)
             self.bandwidth_words += extra_bandwidth
         loop = self._loop_dense if self.scheduler == "dense" else self._loop_event
+        causal = self._causal
+        if causal is not None:
+            causal.begin_execution(phase)
         if fs is not None:
             fs.start_run()
+        rounds_used = None
         try:
             rounds_used, activated, iterations = loop(programs, max_rounds, phase)
         finally:
+            # A None rounds_used tells the recorder the execution died
+            # mid-flight; the partial causal chain is still recorded.
+            if causal is not None:
+                causal.end_execution(rounds_used)
             # Advance the injector's global clock even when the execution
             # failed — a retried phase must see fresh fault draws and run
             # past any crash/outage window the failed attempt died in.

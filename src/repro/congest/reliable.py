@@ -38,6 +38,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Callable, Mapping
 
+from ..obs.flightrec import default_flight_recorder
 from ..planar.graph import Graph, NodeId
 from .errors import RetransmitBudgetExceededError
 from .faults import (
@@ -108,6 +109,10 @@ class ReliableProgram(NodeProgram):
         self.retransmits = 0
         self.pure_acks = 0
         self.duplicates_dropped = 0
+        # Crash flight recorder, fetched once like the fault state's; ARQ
+        # events (retransmit, give-up) are the flight lane's narrative of
+        # why a chaos run died.
+        self._flight = default_flight_recorder()
 
     # -- scheduler contract ------------------------------------------------
 
@@ -194,16 +199,32 @@ class ReliableProgram(NodeProgram):
                 out[receiver] = (RELIABLE_DATA_TAG, link.out_seq, ack, link.out_payload)
             elif link.out_seq and round_no - link.out_sent_round >= link.out_rto:
                 if link.out_attempts >= self.max_attempts:
-                    raise RetransmitBudgetExceededError(
+                    error = RetransmitBudgetExceededError(
                         f"{self.node!r}->{receiver!r}: frame seq={link.out_seq}"
                         f" unacknowledged after {link.out_attempts} attempts"
                         f" (rto reached {link.out_rto} rounds)"
                     )
+                    if self._flight is not None:
+                        # Recorded before the raise, so the recorder's
+                        # globally-last event matches the raised error.
+                        self._flight.record(
+                            self.node, "arq-give-up", round_no,
+                            to=repr(receiver), seq=link.out_seq,
+                            attempts=link.out_attempts,
+                            error=type(error).__name__, message=str(error),
+                        )
+                    raise error
                 link.out_attempts += 1
                 link.out_sent_round = round_no
                 link.out_rto = max(1, int(link.out_rto * self.backoff))
                 link.ack_owed = False
                 self.retransmits += 1
+                if self._flight is not None:
+                    self._flight.record(
+                        self.node, "arq-retransmit", round_no,
+                        to=repr(receiver), seq=link.out_seq,
+                        attempt=link.out_attempts, rto=link.out_rto,
+                    )
                 out[receiver] = (RELIABLE_RETX_TAG, link.out_seq, ack, link.out_payload)
             elif link.ack_owed:
                 link.ack_owed = False

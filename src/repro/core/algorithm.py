@@ -26,8 +26,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
+from ..congest.faults import default_fault_injector
 from ..congest.metrics import RoundMetrics
 from ..obs import Tracer, maybe_span
+from ..obs.causal import CausalRecorder, causal_override, default_causal_recorder
 from ..planar.graph import Graph, NodeId, edge_id
 from ..planar.rotation import RotationSystem
 from ..planar.verify import verify_planar_embedding
@@ -71,6 +73,7 @@ class EmbeddingResult:
     heal_attempts: int = 0  # self-healing attempts consumed (0 = plain run)
     heal_log: list[str] = field(default_factory=list)  # what healing saw and did
     fault_stats: dict | None = None  # chaos-layer counters (None = no fault plan)
+    causal: dict | None = None  # causal-report dict (None = no recorder attached)
 
     @property
     def rounds(self) -> int:
@@ -156,6 +159,8 @@ class EmbeddingResult:
             }
         if self.fault_stats is not None:
             report["fault_stats"] = dict(self.fault_stats)
+        if self.causal is not None:
+            report["causal"] = dict(self.causal)
         return report
 
 
@@ -178,6 +183,7 @@ class DegradedResult:
     metrics: RoundMetrics
     certification: "CertificationReport | None" = None
     fault_stats: dict | None = None
+    flight: "object | None" = None  # the FlightRecorder, for post-mortems
 
     degraded = True  # cheap discriminator vs EmbeddingResult
 
@@ -205,6 +211,8 @@ class DegradedResult:
             report["certification"] = self.certification.to_dict()
         if self.fault_stats is not None:
             report["fault_stats"] = dict(self.fault_stats)
+        if self.flight is not None:
+            report["flight_events"] = len(self.flight)
         return report
 
 
@@ -228,6 +236,7 @@ class DistributedPlanarEmbedding:
         splitter_strategy: str = "balanced",
         tracer: Tracer | None = None,
         certify: bool = False,
+        causal: "CausalRecorder | None" = None,
     ) -> None:
         """``bandwidth_words`` is the per-edge word budget used in the
         pipelined round charges (CONGEST's ``O(log n)`` bits = O(1)
@@ -240,7 +249,10 @@ class DistributedPlanarEmbedding:
         ``certify`` appends the certification phases (see
         :mod:`repro.certify`): every node gets an O(log n)-bit proof
         label and the distributed verifier re-checks the output in O(D)
-        rounds, all charged to the same ledger and trace."""
+        rounds, all charged to the same ledger and trace.  ``causal`` (a
+        :class:`repro.obs.causal.CausalRecorder`) installs message-level
+        causal tracing for every network the run creates; the
+        critical-path report lands on ``EmbeddingResult.causal``."""
         if graph.num_nodes == 0:
             raise ValueError("cannot embed an empty network")
         if not graph.is_connected():
@@ -251,6 +263,7 @@ class DistributedPlanarEmbedding:
         self.splitter_strategy = splitter_strategy
         self.tracer = tracer
         self.certify = certify
+        self.causal = causal
         self.last_metrics: RoundMetrics | None = None  # set by run(), kept on failure
 
     def run(self) -> EmbeddingResult:
@@ -265,7 +278,12 @@ class DistributedPlanarEmbedding:
         if tracer is not None:
             metrics.observer = tracer
         self.last_metrics = metrics
-        with maybe_span(
+        # An explicit recorder is installed for every network this run
+        # creates; otherwise an ambient causal_override (if any) already
+        # covers them, so re-installing it is a no-op.
+        recorder = self.causal if self.causal is not None else default_causal_recorder()
+        injector = default_fault_injector()
+        with causal_override(recorder), maybe_span(
             tracer, "run", kind="run", n=graph.num_nodes, m=graph.num_edges
         ) as run_span:
             result = self._run_traced(graph, metrics, tracer)
@@ -281,6 +299,19 @@ class DistributedPlanarEmbedding:
                 # Certification rides inside the run span so the trace
                 # rollup keeps matching metrics.rounds exactly.
                 result.verify_distributed(metrics=metrics, tracer=tracer)
+            if recorder is not None:
+                result.causal = recorder.report()
+                if run_span is not None:
+                    run_span.attrs["critical_path"] = result.causal["critical_path"]
+                    run_span.attrs["causal_rounds"] = result.causal["real_rounds"]
+            if injector is not None:
+                # Chaos counters are collected in congest/faults.py but
+                # were invisible to reports: snapshot them onto the
+                # result and the run span so --json and chaos benches
+                # can assert injected-vs-delivered counts.
+                result.fault_stats = injector.stats.to_dict()
+                if run_span is not None:
+                    run_span.attrs["fault_stats"] = dict(result.fault_stats)
         return result
 
     def _run_traced(
@@ -393,11 +424,12 @@ def distributed_planar_embedding(
     verify: bool = True,
     tracer: Tracer | None = None,
     certify: bool = False,
+    causal: "CausalRecorder | None" = None,
 ) -> EmbeddingResult:
     """Convenience wrapper around :class:`DistributedPlanarEmbedding`."""
     return DistributedPlanarEmbedding(
         graph, bandwidth_words=bandwidth_words, verify=verify, tracer=tracer,
-        certify=certify,
+        certify=certify, causal=causal,
     ).run()
 
 
@@ -409,6 +441,8 @@ def self_healing_embedding(
     faults=None,
     corrupt_hook=None,
     splitter_strategy: str = "balanced",
+    flight=None,
+    flight_path=None,
 ) -> "EmbeddingResult | DegradedResult":
     """Run the embedding with certificate-driven self-healing.
 
@@ -438,6 +472,14 @@ def self_healing_embedding(
     tests — may tamper with ``result.rotation`` / ``result.certificates``
     before verification and return a description of the damage.
 
+    ``flight`` (a :class:`repro.obs.flightrec.FlightRecorder`) attaches
+    the crash flight recorder to every fault state and ARQ wrapper the
+    run creates; under an active fault plan one is created automatically
+    when none is given.  Every caught error is recorded on the driver
+    lane, a :class:`DegradedResult` carries the recorder on ``.flight``,
+    and when ``flight_path`` is set the JSONL dump is written there
+    automatically on a degraded outcome or an escaping typed error.
+
     Returns the healed :class:`EmbeddingResult` (with ``heal_attempts``,
     ``heal_log``, and ``fault_stats`` filled in), or a structured
     :class:`DegradedResult` when the budget runs out.  A non-planar
@@ -447,6 +489,7 @@ def self_healing_embedding(
     """
     from ..certify import build_certificates
     from ..congest.faults import FaultInjector, fault_override
+    from ..obs.flightrec import FlightRecorder, default_flight_recorder, flight_override
 
     if max_retries < 0:
         raise ValueError("max_retries must be >= 0")
@@ -455,6 +498,13 @@ def self_healing_embedding(
         if isinstance(faults, (FaultInjector, type(None)))
         else FaultInjector(faults)
     )
+    recorder = flight
+    if recorder is None:
+        recorder = default_flight_recorder()
+    if recorder is None and injector is not None and not injector.plan.is_null:
+        # Chaos without a black box is undebuggable: under an active
+        # fault plan the driver always keeps one.
+        recorder = FlightRecorder()
     master = RoundMetrics()
     if tracer is not None:
         master.observer = tracer
@@ -470,7 +520,12 @@ def self_healing_embedding(
     def stats() -> dict | None:
         return injector.stats.to_dict() if injector is not None else None
 
-    with fault_override(injector), maybe_span(
+    def dump_flight() -> None:
+        if recorder is not None and flight_path is not None:
+            recorder.dump(flight_path)
+            heal_log.append(f"flight recorder dumped to {flight_path}")
+
+    with fault_override(injector), flight_override(recorder), maybe_span(
         tracer, "self-healing", kind="run", n=graph.num_nodes, m=graph.num_edges
     ) as span:
         while attempts < budget:
@@ -508,7 +563,7 @@ def self_healing_embedding(
                         heal_log.append(f"attempt {attempts}: adversary: {note}")
                 stage = "verify"
                 last_report = result.verify_distributed(metrics=master, tracer=tracer)
-            except NonPlanarNetworkError:
+            except NonPlanarNetworkError as _np_exc:
                 if injector is None or injector.plan.is_null:
                     raise
                 # Under an active fault plan a corrupted exchange can fake
@@ -519,6 +574,11 @@ def self_healing_embedding(
                 # the whole budget.
                 nonplanar_hits += 1
                 if nonplanar_hits >= 2:
+                    if recorder is not None:
+                        recorder.note_error(
+                            _np_exc, attempt=attempts, stage=stage, confirmed=True
+                        )
+                    dump_flight()
                     raise
                 last_error = None
                 heal_log.append(
@@ -535,6 +595,8 @@ def self_healing_embedding(
                     f"attempt {attempts}: {stage} failed:"
                     f" {type(exc).__name__}: {exc}"
                 )
+                if recorder is not None:
+                    recorder.note_error(exc, attempt=attempts, stage=stage)
                 if stage == "embed":
                     result = None
                 continue
@@ -588,6 +650,7 @@ def self_healing_embedding(
         )
     else:
         diagnosis = f"no certified embedding within {attempts} attempts"
+    dump_flight()
     return DegradedResult(
         graph=graph,
         rotation=result.rotation if result is not None else None,
@@ -597,6 +660,7 @@ def self_healing_embedding(
         metrics=master,
         certification=last_report,
         fault_stats=stats(),
+        flight=recorder,
     )
 
 

@@ -1,18 +1,48 @@
 """Observability: hierarchical tracing and machine-readable run reports.
 
 The paper's headline claim is a round bound, so the first-class product
-of a run is *where the rounds went*.  This package provides the
-:class:`Tracer` (spans per recursive call / merge / CONGEST phase,
-events for charges, splitter choices, and bandwidth high-water marks)
-that the rest of the system hooks into:
+of a run is *where the rounds went*.  This package provides:
 
-* ``DistributedPlanarEmbedding(graph, tracer=Tracer())`` — trace a run;
-* ``tracer.write_jsonl(fp)`` — dump the span tree as JSONL;
-* ``repro.analysis.load_trace`` / ``render_trace_tree`` — read it back.
+* the :class:`Tracer` (spans per recursive call / merge / CONGEST phase,
+  events for charges, splitter choices, and bandwidth high-water marks):
+  ``DistributedPlanarEmbedding(graph, tracer=Tracer())`` traces a run,
+  ``tracer.write_jsonl(fp)`` dumps the span tree as JSONL, and
+  ``repro.analysis.load_trace`` / ``render_trace_tree`` read it back;
+* the :class:`CausalRecorder` (:mod:`repro.obs.causal`): per-node
+  Lamport chain clocks at the delivery hook, yielding the critical path
+  — the longest happens-before chain of messages — per phase;
+* the :class:`FlightRecorder` (:mod:`repro.obs.flightrec`): bounded
+  per-node ring buffers of delivery/fault/ARQ events, dumped as JSONL
+  when a chaos run dies;
+* :func:`export_chrome_trace` (:mod:`repro.obs.export`): Perfetto-
+  loadable Chrome trace-event export of span trees and causal lanes.
 
-See docs/API.md ("Observability") for the rollup semantics.
+See docs/API.md ("Observability") for the rollup and clock semantics.
 """
 
-from .tracer import Span, TraceEvent, Tracer, maybe_span
+from .causal import CausalRecorder, causal_override, default_causal_recorder
+from .export import chrome_trace, export_chrome_trace
+from .flightrec import (
+    FlightRecorder,
+    default_flight_recorder,
+    flight_override,
+    load_flight,
+)
+from .tracer import Span, TraceEvent, TraceFormatError, Tracer, maybe_span
 
-__all__ = ["Tracer", "Span", "TraceEvent", "maybe_span"]
+__all__ = [
+    "Tracer",
+    "Span",
+    "TraceEvent",
+    "TraceFormatError",
+    "maybe_span",
+    "CausalRecorder",
+    "causal_override",
+    "default_causal_recorder",
+    "FlightRecorder",
+    "flight_override",
+    "default_flight_recorder",
+    "load_flight",
+    "chrome_trace",
+    "export_chrome_trace",
+]

@@ -1,0 +1,207 @@
+"""Chrome trace-event export: span trees and causal lanes for Perfetto.
+
+The JSONL trace dump (:meth:`~repro.obs.tracer.Tracer.write_jsonl`) is
+the archival format; this module converts the same data into the Chrome
+trace-event JSON that ``chrome://tracing`` and https://ui.perfetto.dev
+load directly, so a run can be inspected on a zoomable timeline instead
+of an ASCII tree.
+
+Two process groups are emitted:
+
+* **pid 1 — "spans"**: every :class:`~repro.obs.tracer.Span` becomes a
+  complete ("X") slice on one track, nested by wall time exactly as the
+  tracer recorded it (the simulator is single-threaded, so sibling
+  spans never overlap); span events become instant ("i") marks carrying
+  their attrs.
+* **pid 2 — "causal"**: one track per node, built from a
+  :class:`~repro.obs.causal.CausalRecorder`'s happens-before edge
+  sample.  Time on these tracks is *round* time (1 round = 1 ms of
+  synthetic timeline), each (node, round) with traffic gets a slice,
+  and every sampled edge becomes a flow arrow from the sender's round
+  slice to the receiver's next-round slice — the critical path is then
+  literally visible as the longest arrow chain.
+
+Everything is standard trace-event fields (``ts``/``dur`` in
+microseconds, ``ph`` in {"X", "i", "s", "f", "M"}), no extensions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .tracer import Span, Tracer
+
+__all__ = ["chrome_trace", "export_chrome_trace"]
+
+_SPAN_PID = 1
+_CAUSAL_PID = 2
+#: One CONGEST round of causal-lane time, in trace microseconds.
+_ROUND_US = 1000
+
+
+def _span_roots(spans: Any) -> list[Span]:
+    if spans is None:
+        return []
+    if isinstance(spans, Tracer):
+        return list(spans.roots)
+    if isinstance(spans, Span):
+        return [spans]
+    return list(spans)
+
+
+def _causal_edges(causal: Any) -> list[dict[str, Any]]:
+    if causal is None:
+        return []
+    edges = getattr(causal, "edges", None)  # a CausalRecorder
+    if edges is None and isinstance(causal, dict):  # a report(include_edges=True)
+        edges = causal.get("edges")
+    return list(edges or [])
+
+
+def _emit_span(sp: Span, out: list[dict[str, Any]]) -> None:
+    ts = sp.start_s * 1e6
+    out.append({
+        "name": sp.name,
+        "cat": sp.kind,
+        "ph": "X",
+        "ts": ts,
+        "dur": max(0.0, sp.wall_s * 1e6),
+        "pid": _SPAN_PID,
+        "tid": 1,
+        "args": {
+            "rounds": sp.total_rounds(),
+            "words": sp.total_words(),
+            "parallel": sp.parallel,
+            **{k: repr(v) if not isinstance(v, (int, float, str, bool, type(None))) else v
+               for k, v in sp.attrs.items()},
+        },
+    })
+    for ev in sp.events:
+        out.append({
+            "name": ev.name,
+            "cat": "event",
+            "ph": "i",
+            "s": "t",
+            "ts": ev.wall_s * 1e6,
+            "pid": _SPAN_PID,
+            "tid": 1,
+            "args": {
+                k: v if isinstance(v, (int, float, str, bool, type(None))) else repr(v)
+                for k, v in ev.attrs.items()
+            },
+        })
+    for child in sp.children:
+        _emit_span(child, out)
+
+
+def _emit_causal(edges: list[dict[str, Any]], out: list[dict[str, Any]]) -> None:
+    lanes: dict[str, int] = {}
+
+    def lane(node: str) -> int:
+        tid = lanes.get(node)
+        if tid is None:
+            tid = lanes[node] = len(lanes) + 1
+        return tid
+
+    # Round slices first: flow arrows need enclosing slices to bind to.
+    # Executions are laid out sequentially on the synthetic timeline so
+    # their rounds never collide.
+    exec_offset: dict[int, int] = {}
+    next_offset = 0
+    for e in edges:
+        ex = e.get("execution", 0)
+        if ex not in exec_offset:
+            exec_offset[ex] = next_offset
+        hi = exec_offset[ex] + (e.get("round", 0) + 1) * _ROUND_US
+        if hi + _ROUND_US > next_offset:
+            next_offset = hi + _ROUND_US
+    slices: set[tuple[str, float]] = set()
+    for e in edges:
+        base = exec_offset.get(e.get("execution", 0), 0)
+        send_ts = base + e.get("round", 0) * _ROUND_US
+        recv_ts = send_ts + _ROUND_US
+        slices.add((e["sender"], send_ts))
+        slices.add((e["receiver"], recv_ts))
+    for node, ts in sorted(slices):
+        out.append({
+            "name": f"r{int(ts // _ROUND_US)}",
+            "cat": "round",
+            "ph": "X",
+            "ts": ts,
+            "dur": _ROUND_US * 0.9,
+            "pid": _CAUSAL_PID,
+            "tid": lane(node),
+            "args": {},
+        })
+    for i, e in enumerate(edges, 1):
+        base = exec_offset.get(e.get("execution", 0), 0)
+        send_ts = base + e.get("round", 0) * _ROUND_US
+        common = {"cat": "happens-before", "name": "msg", "id": i, "pid": _CAUSAL_PID}
+        out.append({
+            **common,
+            "ph": "s",
+            "ts": send_ts + _ROUND_US * 0.4,
+            "tid": lane(e["sender"]),
+            "args": {"stamp": e.get("stamp"), "phase": e.get("phase")},
+        })
+        out.append({
+            **common,
+            "ph": "f",
+            "bp": "e",
+            "ts": send_ts + _ROUND_US * 1.4,
+            "tid": lane(e["receiver"]),
+            "args": {},
+        })
+    for node, tid in lanes.items():
+        out.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": _CAUSAL_PID,
+            "tid": tid,
+            "args": {"name": node},
+        })
+
+
+def chrome_trace(spans: Any = None, causal: Any = None) -> dict[str, Any]:
+    """Build the Chrome trace-event document as a dict.
+
+    ``spans`` is a :class:`Tracer`, a :class:`Span` root, or a list of
+    roots; ``causal`` is a :class:`~repro.obs.causal.CausalRecorder` or
+    a causal report produced with ``include_edges=True``.  Either may be
+    ``None``.
+    """
+    events: list[dict[str, Any]] = []
+    roots = _span_roots(spans)
+    if roots:
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": _SPAN_PID,
+            "tid": 0,
+            "args": {"name": "spans"},
+        })
+        for root in roots:
+            _emit_span(root, events)
+    edges = _causal_edges(causal)
+    if edges:
+        events.append({
+            "name": "process_name",
+            "ph": "M",
+            "pid": _CAUSAL_PID,
+            "tid": 0,
+            "args": {"name": "causal"},
+        })
+        _emit_causal(edges, events)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def export_chrome_trace(sink: Any, spans: Any = None, causal: Any = None) -> None:
+    """Write :func:`chrome_trace` output as JSON to a path or stream."""
+    doc = chrome_trace(spans=spans, causal=causal)
+    if isinstance(sink, (str, Path)):
+        with Path(sink).open("w") as fp:
+            json.dump(doc, fp)
+    else:
+        json.dump(doc, sink)

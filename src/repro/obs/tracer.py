@@ -36,9 +36,31 @@ from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Iterator, TextIO
 
-__all__ = ["TraceEvent", "Span", "Tracer", "maybe_span"]
+__all__ = ["TraceEvent", "Span", "Tracer", "TraceFormatError", "maybe_span"]
 
 TRACE_FORMAT_VERSION = 1
+
+
+class TraceFormatError(ValueError):
+    """A serialized trace is malformed or from an unsupported format version.
+
+    Raised by ``TraceEvent.from_dict`` / ``Span.from_dict`` and by
+    :func:`repro.analysis.load_trace` instead of silently defaulting
+    fields or propagating bad data into the renderers.  Subclasses
+    ``ValueError`` so pre-existing ``except ValueError`` handlers (the
+    CLI's ``--view-trace``) keep working.
+    """
+
+
+def _require(condition: bool, what: str) -> None:
+    if not condition:
+        raise TraceFormatError(what)
+
+
+def _check_number(value: Any, what: str) -> float:
+    # bool is an int subclass; a boolean wall_s/rounds is malformed data.
+    _require(isinstance(value, (int, float)) and not isinstance(value, bool), what)
+    return value
 
 
 @dataclass
@@ -54,7 +76,17 @@ class TraceEvent:
 
     @classmethod
     def from_dict(cls, d: dict[str, Any]) -> "TraceEvent":
-        return cls(name=d["name"], wall_s=d.get("wall_s", 0.0), attrs=d.get("attrs", {}))
+        _require(isinstance(d, dict), f"trace event is not an object: {d!r}")
+        name = d.get("name")
+        _require(isinstance(name, str) and bool(name), f"trace event has no name: {d!r}")
+        wall_s = d.get("wall_s", 0.0)
+        _check_number(wall_s, f"trace event {name!r}: wall_s must be a number, got {wall_s!r}")
+        attrs = d.get("attrs", {})
+        _require(
+            isinstance(attrs, dict),
+            f"trace event {name!r}: attrs must be an object, got {type(attrs).__name__}",
+        )
+        return cls(name=name, wall_s=float(wall_s), attrs=attrs)
 
 
 @dataclass
@@ -134,10 +166,28 @@ class Span:
 
     @classmethod
     def from_dict(cls, d: dict[str, Any]) -> "Span":
+        _require(isinstance(d, dict), f"trace span is not an object: {d!r}")
+        span_id = d.get("span_id")
+        _require(
+            isinstance(span_id, int) and not isinstance(span_id, bool),
+            f"trace span has no integer span_id: {d!r}",
+        )
+        name = d.get("name")
+        _require(isinstance(name, str) and bool(name), f"trace span {span_id} has no name")
+        events = d.get("events", [])
+        _require(
+            isinstance(events, list),
+            f"trace span {name!r}: events must be a list, got {type(events).__name__}",
+        )
+        for key in ("rounds", "messages", "words", "max_edge_words",
+                    "activations", "activations_saved"):
+            _check_number(
+                d.get(key, 0), f"trace span {name!r}: {key} must be a number"
+            )
         return cls(
-            span_id=d["span_id"],
+            span_id=span_id,
             parent_id=d.get("parent_id"),
-            name=d["name"],
+            name=name,
             kind=d.get("kind", "span"),
             parallel=d.get("parallel", False),
             attrs=d.get("attrs", {}),
@@ -149,7 +199,7 @@ class Span:
             max_edge_words=d.get("max_edge_words", 0),
             activations=d.get("activations", 0),
             activations_saved=d.get("activations_saved", 0),
-            events=[TraceEvent.from_dict(e) for e in d.get("events", [])],
+            events=[TraceEvent.from_dict(e) for e in events],
         )
 
 

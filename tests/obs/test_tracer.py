@@ -163,6 +163,24 @@ class TestEndToEnd:
         kinds = {sp.kind for sp in root.walk()}
         assert {"run", "phase", "call", "merge"} <= kinds
 
+    def test_chaos_rollup_matches_ledger_exactly(self):
+        """The rollup invariant survives chaos: under a fault plan with
+        ARQ retransmissions and healing retries, every recovery round is
+        still charged to some span — sum/max over the tree equals the
+        combined ledger."""
+        from repro.congest import FaultPlan
+        from repro.core import self_healing_embedding
+
+        tr = Tracer()
+        plan = FaultPlan.parse("drop=0.05,corrupt=0.02,crash=2:4", seed=17)
+        result = self_healing_embedding(grid_graph(8, 8), faults=plan, tracer=tr)
+        assert not getattr(result, "degraded", False)
+        assert (result.fault_stats or {}).get("faults_injected", 0) > 0
+        root = tr.root
+        assert root.total_rounds() == result.metrics.rounds
+        assert root.total_words() == result.metrics.total_words
+        assert root.total_messages() == result.metrics.messages
+
     def test_untraced_run_attaches_no_observer(self):
         """No tracer => the ledger's observer slot stays None, so the
         network's per-round loop never executes tracer code."""

@@ -1,0 +1,128 @@
+"""Trace diffing: identical-seed runs diff clean, tampering is caught
+and localized with its recursion-ancestry path."""
+
+import io
+import json
+
+import pytest
+
+from repro import distributed_planar_embedding
+from repro.analysis import diff_spans, diff_traces, load_trace, render_diff
+from repro.obs import TraceFormatError, Tracer
+from repro.planar.generators import grid_graph
+
+
+def trace_lines(graph=None):
+    tracer = Tracer()
+    distributed_planar_embedding(graph or grid_graph(4, 4), tracer=tracer)
+    buf = io.StringIO()
+    tracer.write_jsonl(buf)
+    return buf.getvalue().splitlines()
+
+
+class TestIdenticalRuns:
+    def test_same_seed_runs_diff_clean(self):
+        """Acceptance: two identical-seed runs produce traces with zero
+        divergence — wall-clock noise is excluded from the comparison."""
+        report = diff_traces(trace_lines(), trace_lines())
+        assert report["identical"]
+        assert report["divergences"] == []
+        assert report["spans_a"] == report["spans_b"] > 1
+        assert "identical" in render_diff(report)
+
+    def test_trace_diffs_clean_against_itself_from_disk(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text("\n".join(trace_lines()) + "\n")
+        assert diff_traces(path, path)["identical"]
+
+
+class TestTamperLocalization:
+    def tamper(self, lines, field, mutate):
+        out = []
+        done = False
+        for line in lines:
+            record = json.loads(line)
+            if not done and record.get("type") == "span" and record.get(field):
+                record[field] = mutate(record[field])
+                done = True
+            out.append(json.dumps(record))
+        assert done, f"no span line with {field!r} to tamper"
+        return out
+
+    def test_single_field_tamper_is_localized(self):
+        lines = trace_lines()
+        tampered = self.tamper(lines, "rounds", lambda r: r ^ 1)
+        report = diff_traces(lines, tampered)
+        assert not report["identical"]
+        first = report["divergences"][0]
+        assert first["kind"] == "field"
+        assert first["detail"] == "rounds"
+        assert abs(first["a"] - first["b"]) == 1
+        # The path is the span ancestry from the root down.
+        assert first["path"][0].startswith("run:")
+        assert "first divergence" in render_diff(report)
+
+    def test_dropped_subtree_reports_structure(self):
+        lines = trace_lines()
+        root = load_trace(lines)
+        victim = root.children[-1]
+        pruned = [
+            line for line in lines
+            if json.loads(line).get("span_id")
+            not in {sp.span_id for sp in victim.walk()}
+        ]
+        report = diff_traces(lines, pruned)
+        assert not report["identical"]
+        assert any(d["kind"] == "structure" for d in report["divergences"])
+
+    def test_attr_tamper_names_the_key(self):
+        lines = trace_lines()
+        out, done = [], False
+        for line in lines:
+            record = json.loads(line)
+            if not done and record.get("type") == "span" and record.get("attrs"):
+                key = sorted(record["attrs"])[0]
+                record["attrs"][key] = "tampered"
+                done = True
+            out.append(json.dumps(record))
+        report = diff_traces(lines, out)
+        kinds = {(d["kind"], d["detail"]) for d in report["divergences"]}
+        assert any(k == "attr" for k, _ in kinds)
+
+    def test_limit_truncates_and_flags(self):
+        lines = trace_lines()
+        # Tamper every span's rounds: far more divergences than the limit.
+        out = []
+        for line in lines:
+            record = json.loads(line)
+            if record.get("type") == "span":
+                record["rounds"] = record.get("rounds", 0) + 1
+            out.append(json.dumps(record))
+        report = diff_traces(lines, out, limit=3)
+        assert len(report["divergences"]) == 3
+        assert report["truncated"]
+
+
+class TestMalformedInput:
+    def test_unreadable_input_raises_loader_errors(self):
+        with pytest.raises(ValueError):
+            diff_traces(["garbage"], trace_lines())
+
+    def test_version_drift_is_typed(self):
+        lines = trace_lines()
+        header = json.loads(lines[0])
+        assert header["type"] == "trace"
+        header["version"] = 999
+        with pytest.raises(TraceFormatError):
+            diff_traces([json.dumps(header)] + lines[1:], lines)
+
+
+class TestDiffSpans:
+    def test_span_level_api(self):
+        root_a = load_trace(trace_lines())
+        root_b = load_trace(trace_lines())
+        assert diff_spans(root_a, root_b) == []
+        root_b.children[0].rounds += 5
+        divergences = diff_spans(root_a, root_b)
+        assert divergences and divergences[0].detail == "rounds"
+        assert divergences[0].where.startswith("run:")

@@ -2,11 +2,16 @@
 
 Usage::
 
-    python -m repro <edgelist-file> [--baseline] [--bandwidth W] [--quiet]
-    python -m repro --demo grid 8 8
-    python -m repro --demo grid 8 8 --trace run.jsonl --json
-    python -m repro --view-trace run.jsonl
-    python -m repro trace-diff a.jsonl b.jsonl
+    repro <edgelist-file> [--baseline] [--bandwidth W] [--quiet]
+    repro --demo grid 8 8
+    repro --demo grid 8 8 --trace run.jsonl --json
+    repro --view-trace run.jsonl
+    repro trace-diff a.jsonl b.jsonl
+    repro serve jobs.jsonl --workers 4
+    repro batch jobs.jsonl --workers 4 --json
+
+(``repro`` is the installed console script; ``python -m repro`` is the
+equivalent in-tree invocation.)
 
 The edge-list format is one edge per line, two whitespace-separated
 integer node IDs; blank lines and ``#`` comments are ignored.  The tool
@@ -44,12 +49,30 @@ transport (retransmission traffic shows in the ledger under the
 certificate is healed with up to ``--max-retries`` escalating retries
 (re-verify, re-certify, re-embed).
 
-Exit codes: 0 = success; 1 = input not planar (a Kuratowski witness is
-printed); 2 = usage error; 3 = verification or certification rejected
-the computed embedding (or a tamper went undetected) — an algorithm
-bug, never the input's fault; 4 = degraded result — the self-healing
-retry budget ran out under ``--faults`` before a certified embedding
-was produced (the partial state and diagnosis are reported).
+Serving: ``serve`` streams JSONL verdicts for a JSONL job stream and
+``batch`` runs a job file to one aggregate report, both over the
+:mod:`repro.serve` driver (process-pool workers + canonical result
+cache); see that module and the README "Serving" section.
+
+Exit codes (mirrors the consolidated "CLI exit codes" table in
+README.md — every mode maps onto it; a ``serve`` / ``batch`` run exits
+with the **worst** per-job code):
+
+====  ==========================================================
+code  meaning
+====  ==========================================================
+0     success — embedding computed (and certified, if asked)
+1     input not planar (a Kuratowski witness is printed);
+      ``trace-diff``: traces diverge
+2     usage error (bad flags, malformed job file or edge list);
+      ``trace-diff``: unreadable trace
+3     the computed output was rejected — verification or
+      certification failed, or a tamper went undetected: an
+      algorithm bug, never the input's fault
+4     degraded result — the self-healing retry budget ran out
+      under ``--faults`` before a certified embedding emerged
+      (partial state and diagnosis are reported)
+====  ==========================================================
 """
 
 from __future__ import annotations
@@ -84,30 +107,16 @@ def load_edgelist(path: str) -> Graph:
     return graph
 
 
-#: Demo families whose generator takes a ``seed`` (threaded from --seed).
-SEEDED_FAMILIES = frozenset({"maximal", "outerplanar", "tree"})
-
-
 def demo_graph(args: list[str], seed: int = 0) -> Graph:
-    from .planar import generators
+    """CLI wrapper over the shared demo-family factory (also used by
+    service job files, so ``--demo`` and ``{"demo": [...]}`` accept
+    exactly the same specs)."""
+    from .planar.generators import demo_graph as build
 
-    if not args:
-        raise SystemExit("--demo needs a family name (e.g. grid 8 8)")
-    name, *params = args
-    factories = {
-        "grid": generators.grid_graph,
-        "trigrid": generators.triangulated_grid,
-        "cycle": generators.cycle_graph,
-        "path": generators.path_graph,
-        "maximal": generators.random_maximal_planar,
-        "outerplanar": generators.random_outerplanar,
-        "tree": generators.random_tree,
-        "k4sub": generators.k4_subdivision,
-    }
-    if name not in factories:
-        raise SystemExit(f"unknown demo family {name!r}; options: {sorted(factories)}")
-    kwargs = {"seed": seed} if name in SEEDED_FAMILIES else {}
-    return factories[name](*(int(p) for p in params), **kwargs)
+    try:
+        return build(args, seed=seed)
+    except ValueError as exc:
+        raise SystemExit(str(exc)) from exc
 
 
 def view_trace(path: str) -> int:
@@ -160,6 +169,10 @@ def main(argv: list[str] | None = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "trace-diff":
         return trace_diff_cli(argv[1:])
+    if argv and argv[0] in ("serve", "batch"):
+        from .serve.cli import batch_cli, serve_cli
+
+        return serve_cli(argv[1:]) if argv[0] == "serve" else batch_cli(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Distributed planar embedding (Ghaffari-Haeupler, PODC 2016)",

@@ -48,6 +48,8 @@ __all__ = [
     "random_planar",
     "delaunay_triangulation",
     "stacked_prism",
+    "demo_graph",
+    "SEEDED_FAMILIES",
 ]
 
 
@@ -339,3 +341,44 @@ def delaunay_triangulation(
         g.add_edge(a, c)
     positions = {i: (float(points[i][0]), float(points[i][1])) for i in range(n)}
     return g, positions
+
+
+#: Demo families whose generator takes a ``seed`` parameter.
+SEEDED_FAMILIES = frozenset({"maximal", "outerplanar", "tree"})
+
+
+def demo_graph(spec: list, seed: int = 0) -> Graph:
+    """Build a graph from a CLI/job demo spec: ``[family, *int_params]``.
+
+    This is the shared factory behind ``--demo grid 8 8`` on the command
+    line and ``{"demo": ["grid", 8, 8]}`` in service job files, so both
+    surfaces accept exactly the same families.  ``seed`` is threaded to
+    the randomized families (:data:`SEEDED_FAMILIES`) and ignored by the
+    deterministic ones.  Raises :class:`ValueError` on an unknown family
+    or malformed parameters; callers translate that into their own
+    error-reporting convention.
+    """
+    if not spec:
+        raise ValueError("demo spec needs a family name (e.g. grid 8 8)")
+    name, *params = spec
+    factories = {
+        "grid": grid_graph,
+        "trigrid": triangulated_grid,
+        "cycle": cycle_graph,
+        "path": path_graph,
+        "maximal": random_maximal_planar,
+        "outerplanar": random_outerplanar,
+        "tree": random_tree,
+        "k4sub": k4_subdivision,
+    }
+    if name not in factories:
+        raise ValueError(f"unknown demo family {name!r}; options: {sorted(factories)}")
+    try:
+        args = [int(p) for p in params]
+    except (TypeError, ValueError) as exc:
+        raise ValueError(f"demo {name!r}: parameters must be integers, got {params!r}") from exc
+    kwargs = {"seed": seed} if name in SEEDED_FAMILIES else {}
+    try:
+        return factories[name](*args, **kwargs)
+    except TypeError as exc:
+        raise ValueError(f"demo {name!r}: {exc}") from exc

@@ -1,0 +1,267 @@
+"""The canonical-graph result cache behind the embedding service.
+
+Under heavy traffic the common case is the *same topology over and over*
+(the same deployment re-verified, the same mesh re-certified after a
+config push), so the service answers repeats from cache instead of
+recomputing.  Entries are keyed by ``(canonical_hash, job_kind,
+config_key)`` — the label-invariant WL hash from :mod:`.canon` plus the
+computation kind and its normalized config — with two hit tiers beneath
+one key:
+
+**exact** — the submission's insertion-order fingerprint matches a
+    stored entry.  The stored verdict is returned verbatim and is
+    **bit-identical** to what a cold run would produce (the whole
+    pipeline is deterministic given the adjacency structure; the E16/E15
+    differential suites are the standing proof).
+
+**canonical** — no exact match, but the query's WL refinement is
+    *discrete* (all vertex colors distinct) and a stored entry kept its
+    rotation in canonical ranks.  The color-matching bijection is then a
+    genuine isomorphism, so the cached rotation is remapped onto the
+    query's vertex labels — and defensively re-verified (genus 0 on the
+    query graph) before being served; a failed check falls back to a
+    miss rather than ever serving a wrong answer.  The ledger fields of
+    a canonical hit describe the original isomorphic run.
+
+Only deterministic, complete outcomes (``ok``, ``non-planar``) are
+cached; degraded and errored outcomes always recompute.
+
+The in-memory store is a bounded LRU.  With ``path`` set, every store
+also appends one JSONL line, and a fresh cache warm-starts by replaying
+the file — the digests are process-stable (:mod:`.canon` uses blake2b,
+never Python's randomized ``hash()``), so a persisted cache is valid
+across processes, restarts, and machines.  Unreadable or
+version-mismatched lines are counted and skipped, never fatal: a
+corrupt cache degrades to cold, it does not take the service down.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+from ..planar.graph import Graph, NodeId
+from ..planar.rotation import RotationError, RotationSystem
+from .canon import CanonicalForm
+
+__all__ = ["CacheEntry", "CacheStats", "ResultCache", "CACHE_SCHEMA_VERSION"]
+
+CACHE_SCHEMA_VERSION = 1
+
+#: Isomorphic-but-differently-ordered submissions of one topology under
+#: one key; beyond this the oldest entry is dropped (the canonical tier
+#: usually answers them all anyway).
+_MAX_ENTRIES_PER_KEY = 8
+
+CacheKey = tuple[str, str, str]  # (canonical_hash, job_kind, config_key)
+
+
+@dataclass
+class CacheEntry:
+    exact: str  # insertion-order fingerprint of the executed graph
+    verdict: dict  # normalized JSON verdict, returned verbatim on exact hits
+    canonical_rotation: dict[int, list[int]] | None = None  # rank -> neighbor ranks
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters surfaced in batch reports and benches."""
+
+    hits_exact: int = 0
+    hits_canonical: int = 0
+    hits_coalesced: int = 0  # duplicate in-flight jobs folded by the driver
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    rejected_remaps: int = 0  # canonical hits that failed re-verification
+    persisted_loads: int = 0
+    persisted_skipped: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.hits_exact + self.hits_canonical + self.hits_coalesced
+
+    def to_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "hits_exact": self.hits_exact,
+            "hits_canonical": self.hits_canonical,
+            "hits_coalesced": self.hits_coalesced,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "rejected_remaps": self.rejected_remaps,
+            "persisted_loads": self.persisted_loads,
+            "persisted_skipped": self.persisted_skipped,
+        }
+
+
+@dataclass
+class CacheHit:
+    verdict: dict
+    tier: str  # "exact" | "canonical"
+
+
+def _rotation_repr(rotation: dict[NodeId, tuple]) -> dict[str, list[str]]:
+    """The verdict wire form of a rotation: repr-keyed, JSON-ready."""
+    return {repr(v): [repr(u) for u in order] for v, order in rotation.items()}
+
+
+@dataclass
+class ResultCache:
+    """Bounded LRU + optional persistent JSONL store of job verdicts."""
+
+    capacity: int = 512
+    path: str | None = None
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("cache capacity must be >= 1")
+        self._store: OrderedDict[CacheKey, list[CacheEntry]] = OrderedDict()
+        if self.path is not None:
+            self._replay(self.path)
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    # -- lookup ----------------------------------------------------------
+
+    def lookup(
+        self, key: CacheKey, exact: str, form: CanonicalForm, graph: Graph
+    ) -> CacheHit | None:
+        """Return a hit for ``graph`` under ``key``, or ``None``.
+
+        Misses are *not* counted here: the driver increments
+        ``stats.misses`` only when it actually dispatches a computation,
+        so ``misses`` stays equal to the number of cold runs even when
+        duplicate in-flight jobs are coalesced.
+        """
+        entries = self._store.get(key)
+        if entries is not None:
+            self._store.move_to_end(key)
+            for entry in entries:
+                if entry.exact == exact:
+                    self.stats.hits_exact += 1
+                    return CacheHit(verdict=entry.verdict, tier="exact")
+            if form.discrete:
+                for entry in entries:
+                    if entry.canonical_rotation is None:
+                        continue
+                    verdict = self._remap(entry, form, graph)
+                    if verdict is not None:
+                        self.stats.hits_canonical += 1
+                        return CacheHit(verdict=verdict, tier="canonical")
+        return None
+
+    def _remap(
+        self, entry: CacheEntry, form: CanonicalForm, graph: Graph
+    ) -> dict | None:
+        """Materialize a stored canonical rotation onto ``graph``'s labels.
+
+        Discreteness on both sides plus an equal graph hash makes the
+        rank-matching bijection an isomorphism (see :mod:`.canon`), but
+        the result is still re-verified — genus 0 on the query graph —
+        so a WL edge case can cost a recompute, never a wrong answer.
+        """
+        assert form.labels is not None
+        inverse = {rank: v for v, rank in form.labels.items()}
+        try:
+            rotation = {
+                inverse[int(rank)]: tuple(inverse[int(r)] for r in order)
+                for rank, order in entry.canonical_rotation.items()
+            }
+        except KeyError:
+            self.stats.rejected_remaps += 1
+            return None
+        try:
+            system = RotationSystem(graph, rotation)
+            if system.genus() != 0:
+                self.stats.rejected_remaps += 1
+                return None
+        except RotationError:
+            self.stats.rejected_remaps += 1
+            return None
+        verdict = json.loads(json.dumps(entry.verdict, sort_keys=True))
+        verdict["rotation"] = _rotation_repr(rotation)
+        verdict["remapped"] = True
+        return verdict
+
+    # -- store -----------------------------------------------------------
+
+    def store(
+        self,
+        key: CacheKey,
+        exact: str,
+        verdict: dict,
+        canonical_rotation: dict[int, list[int]] | None = None,
+        _persist: bool = True,
+    ) -> None:
+        entries = self._store.get(key)
+        if entries is None:
+            entries = self._store[key] = []
+        else:
+            self._store.move_to_end(key)
+            if any(e.exact == exact for e in entries):
+                return  # already present (e.g. two racing cold runs)
+        entries.append(
+            CacheEntry(exact=exact, verdict=verdict, canonical_rotation=canonical_rotation)
+        )
+        if len(entries) > _MAX_ENTRIES_PER_KEY:
+            entries.pop(0)
+        self.stats.stores += 1
+        while len(self._store) > self.capacity:
+            self._store.popitem(last=False)
+            self.stats.evictions += 1
+        if _persist and self.path is not None:
+            self._append(key, entries[-1])
+
+    # -- persistence -----------------------------------------------------
+
+    def _append(self, key: CacheKey, entry: CacheEntry) -> None:
+        line = json.dumps(
+            {
+                "v": CACHE_SCHEMA_VERSION,
+                "key": list(key),
+                "exact": entry.exact,
+                "verdict": entry.verdict,
+                "canon_rot": entry.canonical_rotation,
+            },
+            sort_keys=True,
+        )
+        with open(self.path, "a") as f:
+            f.write(line + "\n")
+
+    def _replay(self, path: str) -> None:
+        try:
+            f = open(path)
+        except OSError:
+            return  # no warm store yet; it will be created on first append
+        with f:
+            for line in f:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    obj = json.loads(line)
+                    if obj.get("v") != CACHE_SCHEMA_VERSION:
+                        raise ValueError("schema version mismatch")
+                    key = tuple(obj["key"])
+                    if len(key) != 3:
+                        raise ValueError("malformed key")
+                    exact = obj["exact"]
+                    verdict = obj["verdict"]
+                    canon_rot = obj.get("canon_rot")
+                    if canon_rot is not None:
+                        canon_rot = {
+                            int(rank): [int(r) for r in order]
+                            for rank, order in canon_rot.items()
+                        }
+                except (ValueError, KeyError, TypeError, AttributeError):
+                    self.stats.persisted_skipped += 1
+                    continue
+                self.store(key, exact, verdict, canon_rot, _persist=False)
+                self.stats.persisted_loads += 1
+        # Replay counted its inserts as stores; those were not fresh work.
+        self.stats.stores -= self.stats.persisted_loads

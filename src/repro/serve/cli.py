@@ -1,0 +1,164 @@
+"""The ``repro serve`` and ``repro batch`` subcommands.
+
+``serve`` reads JSONL jobs from a file or stdin and **streams** one
+JSONL verdict line per job to stdout, in submission order, as soon as
+each job (and all earlier ones) resolves — the long-running-consumer
+mode.  ``batch`` runs a job file to completion and prints one aggregate
+report — outcome counts, cache hit/miss counters, throughput, latency
+percentiles — human-readable by default, machine-readable with
+``--json``; ``--verdicts FILE`` additionally writes the per-job JSONL.
+
+Both exit with the batch partial-failure convention: the **worst**
+per-job exit code (0 ok, 1 non-planar, 3 error, 4 degraded; 2 = usage)
+— see the consolidated exit-code table in README.md.
+"""
+
+from __future__ import annotations
+
+import argparse
+import functools
+import json
+import sys
+
+from .cache import ResultCache
+from .driver import JobOutcome, ServiceDriver
+from .jobs import JobSpecError, load_jobs
+
+__all__ = ["serve_cli", "batch_cli"]
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=1, metavar="N",
+                        help="pool worker processes (default 1; 0 = inline "
+                             "sequential, the reference driver)")
+    parser.add_argument("--no-cache", action="store_true", dest="no_cache",
+                        help="disable the result cache and single-flight "
+                             "coalescing: every job computes")
+    parser.add_argument("--cache-size", type=int, default=512, metavar="K",
+                        dest="cache_size",
+                        help="max cached topologies in memory (LRU, default 512)")
+    parser.add_argument("--cache-file", metavar="FILE", dest="cache_file",
+                        help="persistent JSONL cache store: warm-started on "
+                             "launch, appended on every cold result")
+
+
+def _build(args: argparse.Namespace, parser: argparse.ArgumentParser) -> ServiceDriver:
+    if args.workers < 0:
+        parser.error("--workers must be >= 0")
+    if args.cache_size < 1:
+        parser.error("--cache-size must be >= 1")
+    if args.no_cache and args.cache_file:
+        parser.error("--no-cache and --cache-file are contradictory")
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(capacity=args.cache_size, path=args.cache_file)
+    return ServiceDriver(workers=args.workers, cache=cache)
+
+
+def _load(path: str, parser: argparse.ArgumentParser):
+    try:
+        if path == "-":
+            return load_jobs(sys.stdin)
+        return load_jobs(path)
+    except JobSpecError as exc:
+        parser.error(str(exc))
+    except OSError as exc:
+        parser.error(f"cannot read job file {path!r}: {exc}")
+
+
+def _cache_summary(driver: ServiceDriver) -> str:
+    if driver.cache is None:
+        return "cache: disabled"
+    stats = driver.cache.stats
+    return (
+        f"cache: {stats.hits} hits"
+        f" ({stats.hits_exact} exact, {stats.hits_canonical} canonical,"
+        f" {stats.hits_coalesced} coalesced), {stats.misses} misses"
+        f" (= computations), {stats.evictions} evictions"
+    )
+
+
+def serve_cli(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Stream embedding-service verdicts for a JSONL job stream",
+    )
+    parser.add_argument("jobs", nargs="?", default="-",
+                        help="JSONL job file (default '-' = stdin)")
+    _add_common_options(parser)
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the stderr summary")
+    args = parser.parse_args(argv)
+    driver = _build(args, parser)
+    jobs = _load(args.jobs, parser)
+    say = (lambda *a, **k: None) if args.quiet else functools.partial(print, file=sys.stderr)
+    say(f"serve: {len(jobs)} jobs, {args.workers} workers"
+        + (", cache disabled" if driver.cache is None else ""))
+
+    import time
+
+    def emit(outcome: JobOutcome) -> None:
+        print(json.dumps(outcome.to_json_obj(), sort_keys=True), flush=True)
+
+    t0 = time.perf_counter()
+    outcomes = driver.run(jobs, on_result=emit)
+    report = driver.aggregate(outcomes, time.perf_counter() - t0)
+    say(f"serve: {report['jobs']} verdicts in {report['wall_s']}s"
+        f" ({report['jobs_per_s']} jobs/s),"
+        f" p50 {report['latency_s']['p50']}s p99 {report['latency_s']['p99']}s")
+    say(_cache_summary(driver))
+    return report["exit_code"]
+
+
+def batch_cli(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro batch",
+        description="Run a JSONL job file to completion and aggregate a report",
+    )
+    parser.add_argument("jobs", help="JSONL job file")
+    _add_common_options(parser)
+    parser.add_argument("--json", action="store_true",
+                        help="print the aggregate batch report as JSON on "
+                             "stdout (human summary moves to stderr)")
+    parser.add_argument("--verdicts", metavar="FILE",
+                        help="also write per-job JSONL verdicts to FILE")
+    args = parser.parse_args(argv)
+    driver = _build(args, parser)
+    jobs = _load(args.jobs, parser)
+    say = functools.partial(print, file=sys.stderr) if args.json else print
+
+    verdict_sink = None
+    if args.verdicts is not None:
+        try:
+            verdict_sink = open(args.verdicts, "w")
+        except OSError as exc:
+            parser.error(f"cannot open verdict file {args.verdicts!r}: {exc}")
+
+    import time
+
+    def emit(outcome: JobOutcome) -> None:
+        if verdict_sink is not None:
+            verdict_sink.write(json.dumps(outcome.to_json_obj(), sort_keys=True) + "\n")
+
+    t0 = time.perf_counter()
+    try:
+        outcomes = driver.run(jobs, on_result=emit)
+    finally:
+        if verdict_sink is not None:
+            verdict_sink.close()
+    report = driver.aggregate(outcomes, time.perf_counter() - t0)
+
+    say(f"batch: {report['jobs']} jobs on {args.workers} workers"
+        f" in {report['wall_s']}s ({report['jobs_per_s']} jobs/s)")
+    counts = report["outcomes"]
+    say(f"outcomes: {counts['ok']} ok, {counts['non-planar']} non-planar,"
+        f" {counts['degraded']} degraded, {counts['error']} error")
+    say(f"latency: p50 {report['latency_s']['p50']}s"
+        f" p99 {report['latency_s']['p99']}s max {report['latency_s']['max']}s")
+    say(_cache_summary(driver))
+    say(f"computations: {report['computed']} of {report['jobs']} jobs")
+    if args.verdicts is not None:
+        say(f"verdicts written to {args.verdicts}")
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+    return report["exit_code"]

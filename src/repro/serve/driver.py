@@ -1,0 +1,408 @@
+"""The async batch driver: submission queue, pool workers, result cache.
+
+``ServiceDriver`` turns the library's one-shot entry points into a
+service: jobs go onto an :mod:`asyncio` submission queue, a fixed set of
+consumer tasks feeds them to a ``ProcessPoolExecutor`` of 1..N stateless
+workers (or runs them inline with ``workers=0`` — the sequential
+reference driver the differential suite compares pools against), and
+every job resolves to a typed :class:`JobOutcome` — ``ok``,
+``non-planar``, ``degraded``, or ``error`` — in **deterministic
+submission order** regardless of completion order.
+
+With a :class:`~repro.serve.cache.ResultCache` attached, each job is
+canonically hashed before dispatch; exact and canonical hits skip the
+pool entirely, and concurrent duplicates of one in-flight computation
+are **coalesced** (single-flight): the first occurrence computes, the
+rest await its result, so a batch of R identical topologies performs
+exactly one embedding computation at any worker count.  Cache counters
+(`hits_exact` / `hits_canonical` / `hits_coalesced` / `misses`) surface
+in the aggregate batch report; ``misses`` equals the number of actual
+computations.
+
+The process boundary carries only primitives (:meth:`Job.payload` /
+verdict dicts), and every verdict is normalized through one JSON
+round-trip before leaving the worker — so a warm cache hit is
+*bit-identical* (same ``json.dumps`` bytes) to its cold run, which
+``tests/serve/test_service_differential.py`` asserts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..planar.graph import Graph
+from .cache import ResultCache
+from .canon import CanonicalForm, canonical_form, exact_fingerprint
+from .jobs import Job, config_key
+
+__all__ = ["JobOutcome", "ServiceDriver", "execute_job", "OUTCOME_EXIT"]
+
+#: CLI exit code contributed by each per-job outcome; a batch exits with
+#: the maximum over its jobs (see the exit-code table in README.md).
+OUTCOME_EXIT = {"ok": 0, "non-planar": 1, "error": 3, "degraded": 4}
+
+
+def _normalize(record: dict) -> dict:
+    """One canonical JSON round-trip: the bit-identical-verdict contract
+    compares ``json.dumps(..., sort_keys=True)`` of these."""
+    return json.loads(json.dumps(record, sort_keys=True, default=repr))
+
+
+def _rotation_repr(rotation: dict) -> dict:
+    return {repr(v): [repr(u) for u in order] for v, order in rotation.items()}
+
+
+def execute_job(payload: dict) -> dict:
+    """Run one serialized job to a verdict record.  **Worker-side**: this
+    is the function shipped to pool processes, so it takes primitives and
+    returns a plain normalized dict; every failure mode is folded into a
+    typed outcome rather than an escaping exception.
+
+    Records look like ``{"outcome": "ok", "report": {...},
+    "rotation": {...}}`` (plus ``witness`` for non-planar, ``error`` /
+    ``diagnosis`` for failures).
+    """
+    from ..core import NonPlanarNetworkError, distributed_planar_embedding
+
+    graph = Graph()
+    for v in payload.get("nodes", ()):
+        graph.add_node(v)
+    for u, v in payload.get("edges", ()):
+        graph.add_edge(u, v)
+    kind = payload.get("kind", "embed")
+    config = payload.get("config", {})
+    bandwidth = config.get("bandwidth", 1)
+
+    try:
+        if kind in ("embed", "certify"):
+            result = distributed_planar_embedding(
+                graph, bandwidth_words=bandwidth, certify=(kind == "certify")
+            )
+            record = {
+                "outcome": "ok",
+                "report": result.to_report(),
+                "rotation": _rotation_repr(result.rotation),
+            }
+            if kind == "certify" and not result.certification.accepted:
+                # The verifier rejected our own output: an algorithm bug
+                # (CLI exit 3), never cached.
+                record["outcome"] = "error"
+                record["error"] = {
+                    "type": "CertificationRejected",
+                    "message": result.certification.summary(),
+                }
+        elif kind == "heal":
+            from ..congest.faults import FaultPlan
+            from ..core import self_healing_embedding
+
+            spec = config.get("faults")
+            plan = (
+                FaultPlan.parse(spec, seed=config.get("fault_seed", 0))
+                if spec is not None
+                else None
+            )
+            result = self_healing_embedding(
+                graph,
+                bandwidth_words=bandwidth,
+                max_retries=config.get("max_retries", 3),
+                faults=plan,
+            )
+            if getattr(result, "degraded", False):
+                record = {
+                    "outcome": "degraded",
+                    "report": result.to_report(),
+                    "diagnosis": result.diagnosis,
+                }
+            else:
+                record = {
+                    "outcome": "ok",
+                    "report": result.to_report(),
+                    "rotation": _rotation_repr(result.rotation),
+                }
+        else:
+            record = {
+                "outcome": "error",
+                "error": {"type": "JobSpecError", "message": f"unknown kind {kind!r}"},
+            }
+    except NonPlanarNetworkError:
+        from ..planar.kuratowski import classify_kuratowski, kuratowski_subgraph
+
+        witness = kuratowski_subgraph(graph)
+        record = {
+            "outcome": "non-planar",
+            "witness": {
+                "kind": classify_kuratowski(witness),
+                "nodes": witness.num_nodes,
+                "edges": sorted([list(e) for e in witness.edges()], key=repr),
+            },
+        }
+    except Exception as exc:  # noqa: BLE001 - worker boundary: every
+        # failure becomes a typed per-job outcome, the pool stays alive.
+        record = {
+            "outcome": "error",
+            "error": {"type": type(exc).__name__, "message": str(exc)},
+        }
+    return _normalize(record)
+
+
+@dataclass
+class JobOutcome:
+    """One job's typed result, in wire-ready form."""
+
+    index: int
+    id: str
+    kind: str
+    cache: str  # "miss" | "exact" | "canonical" | "coalesced" | "off"
+    wall_s: float  # submission-to-resolution latency (includes queue wait)
+    record: dict
+
+    @property
+    def outcome(self) -> str:
+        return self.record["outcome"]
+
+    @property
+    def exit_code(self) -> int:
+        return OUTCOME_EXIT.get(self.outcome, 3)
+
+    def to_json_obj(self) -> dict:
+        """The JSONL verdict line ``repro serve`` streams."""
+        return {
+            "type": "job-verdict",
+            "index": self.index,
+            "id": self.id,
+            "kind": self.kind,
+            "outcome": self.outcome,
+            "cache": self.cache,
+            "wall_s": round(self.wall_s, 6),
+            "verdict": {k: v for k, v in self.record.items() if k != "outcome"},
+        }
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 1]) of a pre-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+class ServiceDriver:
+    """Async job driver over a process pool with a canonical result cache.
+
+    ``workers=0`` executes jobs inline on the event loop — strictly
+    sequential, the reference the differential suite holds pools to;
+    ``workers=N`` runs up to N jobs concurrently in pool processes.
+    ``cache=None`` disables caching *and* single-flight coalescing
+    (every job genuinely computes — what the cold side of the E19 bench
+    measures).
+    """
+
+    def __init__(self, workers: int = 1, cache: ResultCache | None = None) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0 (0 = inline sequential)")
+        self.workers = workers
+        self.cache = cache
+
+    # -- public API ------------------------------------------------------
+
+    def run(
+        self,
+        jobs: Sequence[Job],
+        on_result: Callable[[JobOutcome], None] | None = None,
+    ) -> list[JobOutcome]:
+        """Run ``jobs`` to completion; outcomes in submission order.
+
+        ``on_result`` is invoked once per job, also in submission order,
+        as soon as that job *and all earlier ones* finished — the
+        streaming hook ``repro serve`` uses to emit verdict lines.
+        """
+        return asyncio.run(self.run_async(jobs, on_result=on_result))
+
+    async def run_async(
+        self,
+        jobs: Sequence[Job],
+        on_result: Callable[[JobOutcome], None] | None = None,
+    ) -> list[JobOutcome]:
+        loop = asyncio.get_running_loop()
+        queue: asyncio.Queue = asyncio.Queue()
+        inflight: dict = {}
+        submitted = time.perf_counter()
+        futures: list[asyncio.Future] = []
+        for job in jobs:
+            future = loop.create_future()
+            futures.append(future)
+            queue.put_nowait((job, future))
+        n_consumers = max(1, self.workers)
+        pool = ProcessPoolExecutor(max_workers=self.workers) if self.workers else None
+        for _ in range(n_consumers):
+            queue.put_nowait(None)  # one shutdown sentinel per consumer
+        consumers = [
+            asyncio.ensure_future(
+                self._consume(queue, pool, inflight, loop, submitted)
+            )
+            for _ in range(n_consumers)
+        ]
+        try:
+            outcomes: list[JobOutcome] = []
+            for future in futures:
+                outcome = await future
+                if on_result is not None:
+                    on_result(outcome)
+                outcomes.append(outcome)
+            return outcomes
+        finally:
+            for consumer in consumers:
+                consumer.cancel()
+            await asyncio.gather(*consumers, return_exceptions=True)
+            if pool is not None:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- internals -------------------------------------------------------
+
+    async def _consume(self, queue, pool, inflight, loop, submitted) -> None:
+        while True:
+            item = await queue.get()
+            if item is None:
+                return
+            job, future = item
+            try:
+                outcome = await self._process(job, pool, inflight, loop, submitted)
+            except asyncio.CancelledError:
+                raise
+            except Exception as exc:  # infrastructure failure, not job failure
+                if not future.done():
+                    future.set_exception(exc)
+                continue
+            if not future.done():
+                future.set_result(outcome)
+
+    async def _process(self, job: Job, pool, inflight, loop, submitted) -> JobOutcome:
+        cache = self.cache
+        if cache is None:
+            record = await self._execute(job, pool, loop)
+            return self._outcome(job, "off", submitted, record)
+
+        form = canonical_form(job.graph)
+        exact = exact_fingerprint(job.graph)
+        key = (form.hash, job.kind, config_key(job.config))
+        hit = cache.lookup(key, exact, form, job.graph)
+        if hit is not None:
+            return self._outcome(job, hit.tier, submitted, hit.verdict)
+
+        flight_key = (key, exact)
+        waiter = inflight.get(flight_key)
+        if waiter is not None:
+            # Single-flight: an identical job is already computing;
+            # share its verdict instead of burning a worker on it.
+            record = await asyncio.shield(waiter)
+            cache.stats.hits_coalesced += 1
+            return self._outcome(job, "coalesced", submitted, record)
+
+        waiter = loop.create_future()
+        inflight[flight_key] = waiter
+        cache.stats.misses += 1
+        try:
+            record = await self._execute(job, pool, loop)
+        except BaseException as exc:
+            if not waiter.done():
+                waiter.set_exception(exc)
+            inflight.pop(flight_key, None)
+            raise
+        inflight.pop(flight_key, None)
+        waiter.set_result(record)
+        if record["outcome"] in ("ok", "non-planar"):
+            canonical_rotation = self._canonical_rotation(job.graph, form, record)
+            cache.store(key, exact, record, canonical_rotation)
+        return self._outcome(job, "miss", submitted, record)
+
+    async def _execute(self, job: Job, pool, loop) -> dict:
+        payload = job.payload()
+        try:
+            if pool is None:
+                # Inline sequential reference path: same worker function,
+                # same serialized payload, no process hop.
+                return execute_job(payload)
+            return await loop.run_in_executor(pool, execute_job, payload)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:
+            # The worker folds job failures into records, so reaching
+            # here means pool infrastructure died (broken process,
+            # unpicklable result).  Surface it as a typed error outcome.
+            return _normalize({
+                "outcome": "error",
+                "error": {
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                    "where": "dispatch",
+                },
+            })
+
+    @staticmethod
+    def _outcome(job: Job, tier: str, submitted: float, record: dict) -> JobOutcome:
+        return JobOutcome(
+            index=job.index,
+            id=job.id,
+            kind=job.kind,
+            cache=tier,
+            wall_s=time.perf_counter() - submitted,
+            record=record,
+        )
+
+    @staticmethod
+    def _canonical_rotation(
+        graph: Graph, form: CanonicalForm, record: dict
+    ) -> dict[int, list[int]] | None:
+        """Re-key the verdict's rotation by canonical rank (for remap
+        hits); ``None`` when refinement wasn't discrete or there is no
+        rotation (non-planar verdicts)."""
+        rotation = record.get("rotation")
+        if rotation is None or form.labels is None:
+            return None
+        by_repr = {repr(v): v for v in graph.nodes()}
+        try:
+            return {
+                form.labels[by_repr[rv]]: [form.labels[by_repr[ru]] for ru in order]
+                for rv, order in rotation.items()
+            }
+        except KeyError:
+            return None  # repr round-trip mismatch; cache exact-only
+
+    # -- aggregation -----------------------------------------------------
+
+    def aggregate(self, outcomes: Sequence[JobOutcome], wall_s: float) -> dict:
+        """The batch report: outcome counts, cache counters, throughput,
+        and latency percentiles (JSON-ready)."""
+        counts = {name: 0 for name in OUTCOME_EXIT}
+        for outcome in outcomes:
+            counts[outcome.outcome] = counts.get(outcome.outcome, 0) + 1
+        latencies = sorted(outcome.wall_s for outcome in outcomes)
+        stats = self.cache.stats if self.cache is not None else None
+        return {
+            "type": "batch-report",
+            "jobs": len(outcomes),
+            "workers": self.workers,
+            "outcomes": counts,
+            "cache": stats.to_dict() if stats is not None else None,
+            "computed": stats.misses if stats is not None else len(outcomes),
+            "wall_s": round(wall_s, 6),
+            "jobs_per_s": round(len(outcomes) / wall_s, 3) if wall_s > 0 else None,
+            "latency_s": {
+                "p50": round(_percentile(latencies, 0.50), 6),
+                "p99": round(_percentile(latencies, 0.99), 6),
+                "max": round(latencies[-1], 6) if latencies else 0.0,
+            },
+            "exit_code": self.exit_code(outcomes),
+        }
+
+    @staticmethod
+    def exit_code(outcomes: Sequence[JobOutcome]) -> int:
+        """Batch partial-failure semantics: the worst per-job code wins
+        (0 ok < 1 non-planar < 3 error < 4 degraded, numerically)."""
+        return max((outcome.exit_code for outcome in outcomes), default=0)

@@ -1,0 +1,143 @@
+"""The ``repro serve`` / ``repro batch`` subcommands end to end."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+K5 = [[u, v] for u in range(5) for v in range(u + 1, 5)]
+
+
+@pytest.fixture
+def jobs_file(tmp_path):
+    def write(objs, name="jobs.jsonl"):
+        path = tmp_path / name
+        path.write_text("".join(json.dumps(o) + "\n" for o in objs))
+        return str(path)
+
+    return write
+
+
+class TestServe:
+    def test_streams_one_verdict_line_per_job_in_order(self, jobs_file, capsys):
+        path = jobs_file([
+            {"demo": ["grid", 3, 3], "id": "a"},
+            {"edges": K5, "id": "b"},
+            {"demo": ["grid", 3, 3], "id": "c"},
+        ])
+        code = main(["serve", path, "--quiet"])
+        assert code == 1  # worst job: non-planar
+        lines = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+        assert [obj["id"] for obj in lines] == ["a", "b", "c"]
+        assert [obj["outcome"] for obj in lines] == ["ok", "non-planar", "ok"]
+        assert lines[0]["type"] == "job-verdict"
+        assert lines[2]["cache"] == "exact"  # same topology as job a
+        assert "rotation" in lines[0]["verdict"]
+        assert lines[1]["verdict"]["witness"]["kind"] == "K5"
+
+    def test_reads_stdin_dash(self, capsys, monkeypatch):
+        import io
+
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO(json.dumps({"demo": ["cycle", 5]}) + "\n")
+        )
+        code = main(["serve", "-", "--quiet"])
+        assert code == 0
+        assert len(capsys.readouterr().out.splitlines()) == 1
+
+    def test_summary_on_stderr_unless_quiet(self, jobs_file, capsys):
+        path = jobs_file([{"demo": ["grid", 3, 3]}])
+        main(["serve", path])
+        err = capsys.readouterr().err
+        assert "1 verdicts" in err and "cache:" in err
+
+
+class TestBatch:
+    def test_human_report_and_exit_code(self, jobs_file, capsys):
+        path = jobs_file([{"demo": ["grid", 3, 3]}, {"edges": K5}])
+        code = main(["batch", path, "--workers", "0"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "2 jobs" in out
+        assert "1 ok, 1 non-planar" in out
+        assert "computations: 2 of 2 jobs" in out
+
+    def test_json_report_moves_human_to_stderr(self, jobs_file, capsys):
+        path = jobs_file([{"demo": ["grid", 3, 3]}])
+        code = main(["batch", path, "--json"])
+        assert code == 0
+        captured = capsys.readouterr()
+        report = json.loads(captured.out)
+        assert report["type"] == "batch-report"
+        assert report["exit_code"] == 0
+        assert report["cache"]["misses"] == 1
+        assert "1 jobs" in captured.err
+
+    def test_no_cache_every_job_computes(self, jobs_file, capsys):
+        path = jobs_file([{"demo": ["grid", 3, 3]} for _ in range(3)])
+        code = main(["batch", path, "--no-cache", "--json"])
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["cache"] is None
+        assert report["computed"] == 3
+
+    def test_degraded_job_dominates_exit(self, jobs_file, capsys):
+        path = jobs_file([
+            {"demo": ["grid", 3, 3]},
+            {"demo": ["grid", 3, 3], "kind": "heal",
+             "config": {"faults": "drop=0.9", "fault_seed": 1, "max_retries": 0}},
+        ])
+        code = main(["batch", path, "--json"])
+        report = json.loads(capsys.readouterr().out)
+        assert report["outcomes"]["ok"] >= 1
+        assert code == report["exit_code"]
+
+    def test_cache_file_warms_across_invocations(self, jobs_file, tmp_path, capsys):
+        path = jobs_file([{"demo": ["grid", 4, 4]}])
+        store = str(tmp_path / "store.jsonl")
+        main(["batch", path, "--cache-file", store, "--json"])
+        first = json.loads(capsys.readouterr().out)
+        assert first["computed"] == 1
+        main(["batch", path, "--cache-file", store, "--json"])
+        second = json.loads(capsys.readouterr().out)
+        assert second["computed"] == 0
+        assert second["cache"]["hits_exact"] == 1
+        assert second["cache"]["persisted_loads"] == 1
+
+
+class TestUsageErrors:
+    @pytest.mark.parametrize("argv", [
+        ["batch"],  # missing job file
+        ["batch", "/nonexistent/jobs.jsonl"],
+        ["serve", "x.jsonl", "--workers", "-1"],
+        ["serve", "x.jsonl", "--cache-size", "0"],
+    ])
+    def test_usage_exits_2(self, argv):
+        with pytest.raises(SystemExit) as exc:
+            main(argv)
+        assert exc.value.code == 2
+
+    def test_no_cache_conflicts_with_cache_file(self, jobs_file):
+        path = jobs_file([{"demo": ["grid", 3, 3]}])
+        with pytest.raises(SystemExit) as exc:
+            main(["batch", path, "--no-cache", "--cache-file", "/tmp/x.jsonl"])
+        assert exc.value.code == 2
+
+    def test_bad_job_line_reports_line_number(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"demo": ["grid", 3, 3]}) + "\n{nope\n")
+        with pytest.raises(SystemExit) as exc:
+            main(["batch", str(path)])
+        assert exc.value.code == 2
+        assert "line 2" in capsys.readouterr().err
+
+    def test_verdicts_file_written(self, jobs_file, tmp_path, capsys):
+        path = jobs_file([{"demo": ["grid", 3, 3], "id": "v"}])
+        sink = tmp_path / "out" / "verdicts.jsonl"
+        sink.parent.mkdir()
+        code = main(["batch", path, "--verdicts", str(sink)])
+        assert code == 0
+        capsys.readouterr()
+        [line] = sink.read_text().splitlines()
+        assert json.loads(line)["id"] == "v"

@@ -195,6 +195,11 @@ def main(argv: list[str] | None = None) -> int:
                              "tamper is detected")
     parser.add_argument("--bandwidth", type=int, default=1, metavar="W",
                         help="CONGEST words per edge per round (default 1)")
+    parser.add_argument("--shard-workers", type=int, default=0, metavar="K",
+                        dest="shard_workers",
+                        help="embed large hanging subtrees in K worker "
+                             "processes (default 0 = sequential); output is "
+                             "bit-identical at every setting")
     parser.add_argument("--faults", metavar="SPEC",
                         help="run self-healing under a deterministic chaos "
                              "schedule, e.g. drop=0.05,dup=0.01,delay=0.1:2,"
@@ -235,6 +240,8 @@ def main(argv: list[str] | None = None) -> int:
                              "ui.perfetto.dev)")
     args = parser.parse_args(argv)
 
+    if args.shard_workers < 0:
+        parser.error("--shard-workers must be >= 0")
     if args.view_trace is not None:
         if args.edgelist is not None or args.demo is not None:
             parser.error("--view-trace takes no network input")
@@ -333,7 +340,11 @@ def main(argv: list[str] | None = None) -> int:
             say(f"chaos schedule: {fault_plan.describe()}")
         else:
             driver = DistributedPlanarEmbedding(
-                graph, bandwidth_words=args.bandwidth, tracer=tracer, certify=certify
+                graph,
+                bandwidth_words=args.bandwidth,
+                tracer=tracer,
+                certify=certify,
+                shard_workers=args.shard_workers,
             )
             result = driver.run()
             say("algorithm: Theorem 1.1 distributed planar embedding")

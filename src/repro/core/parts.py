@@ -38,6 +38,16 @@ __all__ = [
 
 HalfEdge = tuple  # (inside endpoint, outside target)
 
+# A part identifier is either a small int from the process-local
+# allocator below (standalone construction, tests, the baseline) or a
+# recursion-path tuple assigned by ``embed_subtree`` (the pipeline).
+# Path tuples are globally unique *by position in the recursion tree*,
+# which is what lets shard workers mint the same IDs the sequential
+# path would — no cross-process counter to coordinate.  Both kinds are
+# mutually comparable within one merge (a merge only ever sees one
+# kind), and every tie-break below (min/max/sorted) is kind-agnostic.
+PartId = "int | tuple"
+
 _PART_IDS = itertools.count(1)
 
 
@@ -142,7 +152,7 @@ def graph_depth(graph: Graph, root: NodeId | None = None) -> int:
 class PartEmbedding:
     """A part with its internal embedding and half-embedded edge stubs."""
 
-    part_id: int
+    part_id: "int | tuple"
     graph: Graph
     boundary: list[HalfEdge]
     rotation: RotationSystem  # over graph + stubs
@@ -204,7 +214,7 @@ def fresh_part(
     graph: Graph,
     boundary: list[HalfEdge],
     depth: int | None = None,
-    part_id: int | None = None,
+    part_id: "int | tuple | None" = None,
 ) -> PartEmbedding:
     """Create a part by embedding its graph with the boundary co-facial."""
     if not graph.is_connected():

@@ -53,13 +53,12 @@ from .symmetry import symmetry_break
 
 __all__ = ["UnrestrictedMergeStats", "unrestricted_path_merge"]
 
-_COPY_SERIAL = itertools.count(1)
-
-
-def reset_copy_serials() -> None:
-    """Restart the split-off copy allocator (see ``reset_part_ids``)."""
-    global _COPY_SERIAL
-    _COPY_SERIAL = itertools.count(1)
+# Split-off copy serials are allocated per merge driver, not from a
+# process-global counter: every part ID active in a driver belongs to
+# exactly one merge (recursion-path IDs are globally unique), so
+# ``(coordinator, pid, serial)`` stays unique network-wide while the
+# numbering is reproducible from any process — the property the sharded
+# backend's bit-identical contract rests on.
 
 
 @dataclass
@@ -121,6 +120,7 @@ class _MergeDriver:
         self.metrics = metrics
         self.bandwidth = bandwidth
         self.split_validator = split_validator
+        self._copy_serial = itertools.count(1)
         self.stats = UnrestrictedMergeStats(
             p0_length=len(p0_order), initial_parts=len(hanging)
         )
@@ -356,7 +356,7 @@ class _MergeDriver:
         rerouted = [u for u, x in part.boundary if x == coordinator]
         if not rerouted:  # pragma: no cover - low-connection guarantees an edge
             raise AssertionError("split-off without a coordinator edge")
-        copy = ("copy", coordinator, pid, next(_COPY_SERIAL))
+        copy = ("copy", coordinator, pid, next(self._copy_serial))
         if self.split_validator is not None and not self.split_validator(
             copy, coordinator, rerouted
         ):

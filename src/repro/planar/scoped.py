@@ -48,7 +48,16 @@ _COPY_TOKEN = ("copy-region",)
 
 
 class ScopedPlanarityOracle:
-    """Block-scoped planarity decisions for one evolving graph."""
+    """Block-scoped planarity decisions for one evolving graph.
+
+    All state — counters, ``known_planar``, and the region-verdict memo
+    — is **per instance**, never module-global, so it is per-process by
+    construction: shard workers build a fresh oracle over their decoded
+    graph snapshot and the parent regenerates authoritative counters and
+    memo contents by replaying the worker's split journal (see
+    :mod:`repro.shard.dispatch`).  Keep it that way: a process-global
+    memo here would silently leak parent state into forked workers.
+    """
 
     MEMO_MAX_ENTRIES = 4096
 
@@ -59,6 +68,19 @@ class ScopedPlanarityOracle:
         self.scoped_tests = 0
         self.memo_hits = 0
         self._memo: dict[frozenset, bool] = {}
+
+    def snapshot_state(self) -> tuple:
+        """The oracle's full mutable state, for exact rollback."""
+        return (
+            self.known_planar, self.full_tests, self.scoped_tests,
+            self.memo_hits, dict(self._memo),
+        )
+
+    def restore_state(self, state: tuple) -> None:
+        """Inverse of :meth:`snapshot_state` (in place)."""
+        (self.known_planar, self.full_tests, self.scoped_tests,
+         self.memo_hits, memo) = state
+        self._memo = dict(memo)
 
     def stats(self) -> dict[str, int]:
         return {

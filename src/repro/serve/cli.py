@@ -31,6 +31,12 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=1, metavar="N",
                         help="pool worker processes (default 1; 0 = inline "
                              "sequential, the reference driver)")
+    parser.add_argument("--shard-workers", type=int, default=0, metavar="K",
+                        dest="shard_workers",
+                        help="recursion worker processes per job (default 0 = "
+                             "sequential; results are bit-identical either "
+                             "way; clamped with a warning when workers x K "
+                             "oversubscribes the machine)")
     parser.add_argument("--no-cache", action="store_true", dest="no_cache",
                         help="disable the result cache and single-flight "
                              "coalescing: every job computes")
@@ -45,6 +51,8 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
 def _build(args: argparse.Namespace, parser: argparse.ArgumentParser) -> ServiceDriver:
     if args.workers < 0:
         parser.error("--workers must be >= 0")
+    if args.shard_workers < 0:
+        parser.error("--shard-workers must be >= 0")
     if args.cache_size < 1:
         parser.error("--cache-size must be >= 1")
     if args.no_cache and args.cache_file:
@@ -52,7 +60,9 @@ def _build(args: argparse.Namespace, parser: argparse.ArgumentParser) -> Service
     cache = None
     if not args.no_cache:
         cache = ResultCache(capacity=args.cache_size, path=args.cache_file)
-    return ServiceDriver(workers=args.workers, cache=cache)
+    return ServiceDriver(
+        workers=args.workers, cache=cache, shard_workers=args.shard_workers
+    )
 
 
 def _load(path: str, parser: argparse.ArgumentParser):

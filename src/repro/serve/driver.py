@@ -31,7 +31,9 @@ from __future__ import annotations
 import asyncio
 import json
 import math
+import os
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence
@@ -78,11 +80,15 @@ def execute_job(payload: dict) -> dict:
     kind = payload.get("kind", "embed")
     config = payload.get("config", {})
     bandwidth = config.get("bandwidth", 1)
+    shard_workers = config.get("shard_workers", 0)
 
     try:
         if kind in ("embed", "certify"):
             result = distributed_planar_embedding(
-                graph, bandwidth_words=bandwidth, certify=(kind == "certify")
+                graph,
+                bandwidth_words=bandwidth,
+                certify=(kind == "certify"),
+                shard_workers=shard_workers,
             )
             record = {
                 "outcome": "ok",
@@ -201,13 +207,50 @@ class ServiceDriver:
     ``cache=None`` disables caching *and* single-flight coalescing
     (every job genuinely computes — what the cold side of the E19 bench
     measures).
+
+    ``shard_workers=K`` makes every embed/certify job that does not pick
+    its own value shard its recursion over K extra processes
+    (:mod:`repro.shard`).  The two pool layers multiply: ``workers``
+    jobs each spawning ``shard_workers`` recursion workers wants
+    ``workers * max(1, shard_workers)`` cores.  When that product
+    exceeds ``os.cpu_count()``, the driver clamps ``shard_workers`` to
+    the largest fitting value (possibly 0) and emits a
+    ``RuntimeWarning`` — oversubscribed process pools degrade *both*
+    layers' latency, and job-level parallelism is the better-amortized
+    of the two (one pickle per job vs. one snapshot per plan point).
+    Results are unaffected either way: the sharded path is
+    bit-identical to sequential execution.
     """
 
-    def __init__(self, workers: int = 1, cache: ResultCache | None = None) -> None:
+    def __init__(
+        self,
+        workers: int = 1,
+        cache: ResultCache | None = None,
+        shard_workers: int = 0,
+    ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0 (0 = inline sequential)")
+        if shard_workers < 0:
+            raise ValueError("shard_workers must be >= 0 (0 = sequential recursion)")
+        cores = os.cpu_count() or 1
+        budget = max(1, self.__class__._core_budget(workers, cores))
+        if shard_workers > budget and shard_workers > 1:
+            clamped = budget if budget >= 2 else 0
+            warnings.warn(
+                f"workers={workers} x shard_workers={shard_workers} oversubscribes"
+                f" {cores} cores; clamping shard_workers to {clamped}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            shard_workers = clamped
         self.workers = workers
         self.cache = cache
+        self.shard_workers = shard_workers
+
+    @staticmethod
+    def _core_budget(workers: int, cores: int) -> int:
+        """Cores left per job for recursion sharding."""
+        return cores // max(1, workers)
 
     # -- public API ------------------------------------------------------
 
@@ -323,6 +366,12 @@ class ServiceDriver:
 
     async def _execute(self, job: Job, pool, loop) -> dict:
         payload = job.payload()
+        # Apply the driver-level sharding default *after* the cache key
+        # was computed from job.config: sharding never changes results,
+        # so jobs served at different --shard-workers settings must keep
+        # sharing cache entries.  A job's own explicit value wins.
+        if self.shard_workers and "shard_workers" not in payload["config"]:
+            payload["config"]["shard_workers"] = self.shard_workers
         try:
             if pool is None:
                 # Inline sequential reference path: same worker function,

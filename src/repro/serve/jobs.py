@@ -27,11 +27,17 @@ Job object fields:
 ``seed``
     Seed for randomized ``demo`` families (default 0).
 ``config``
-    Optional dict: ``bandwidth`` (words/edge/round, default 1) for all
-    kinds; ``faults`` (a chaos spec string), ``fault_seed``, and
-    ``max_retries`` additionally for ``heal``.  Unknown keys are
-    rejected — a typo'd config silently changing the cache key would be
-    a debugging nightmare.
+    Optional dict: ``bandwidth`` (words/edge/round, default 1) and
+    ``shard_workers`` (per-job recursion worker processes, default 0 =
+    sequential; see :mod:`repro.shard`) for all kinds; ``faults`` (a
+    chaos spec string), ``fault_seed``, and ``max_retries``
+    additionally for ``heal``.  ``shard_workers`` never changes a
+    verdict — the sharded path is bit-identical — and is ignored under
+    fault injection, but an *explicit* value does enter the cache key
+    like any other config field, so omit it when cache sharing across
+    settings matters (the server-side default is applied after key
+    computation).  Unknown keys are rejected — a typo'd config silently
+    changing the cache key would be a debugging nightmare.
 """
 
 from __future__ import annotations
@@ -47,7 +53,7 @@ __all__ = ["Job", "JobSpecError", "JOB_KINDS", "parse_job", "load_jobs", "config
 
 JOB_KINDS = ("embed", "certify", "heal")
 
-_COMMON_CONFIG = {"bandwidth"}
+_COMMON_CONFIG = {"bandwidth", "shard_workers"}
 _HEAL_CONFIG = {"faults", "fault_seed", "max_retries"}
 
 
@@ -152,6 +158,12 @@ def parse_job(obj: dict, index: int = 0) -> Job:
     config.update(supplied)
     if not isinstance(config["bandwidth"], int) or config["bandwidth"] < 1:
         raise JobSpecError(f"job {index}: config.bandwidth must be an integer >= 1")
+    # Optional on purpose (no default): an absent key keeps the cache
+    # key identical to pre-sharding job files.
+    if "shard_workers" in config and (
+        not isinstance(config["shard_workers"], int) or config["shard_workers"] < 0
+    ):
+        raise JobSpecError(f"job {index}: config.shard_workers must be an integer >= 0")
     if kind == "heal":
         if config["faults"] is not None and not isinstance(config["faults"], str):
             raise JobSpecError(f"job {index}: config.faults must be a spec string or null")

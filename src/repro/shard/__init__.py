@@ -1,0 +1,43 @@
+"""Sharded multi-process recursion backend (experiment E20).
+
+The recursion's hanging subtrees are vertex-disjoint (Lemma 4.1), so
+sibling calls are embarrassingly parallel *given* a snapshot of the
+evolving graph.  This package ships them to worker processes as flat
+picklable subproblems and folds the results back deterministically:
+
+* :mod:`~repro.shard.flat` — exact array-of-int snapshots of graphs,
+  parts, and subtree batches;
+* :mod:`~repro.shard.planner` — which subtrees ship, batched how;
+* :mod:`~repro.shard.dispatch` — the pool runtime, the worker entry
+  point, and the consume-side journal replay that makes the sharded
+  path bit-identical to sequential execution;
+* :mod:`~repro.shard.caches` — process-global cache hygiene for
+  workers.
+
+Entry point: ``DistributedPlanarEmbedding(graph, shard_workers=N)``
+(or ``--shard-workers N`` on the CLI / service).
+"""
+
+from .caches import clear_caches
+from .dispatch import DEFAULT_MIN_SHIP, ShardRuntime, run_unit
+from .flat import (
+    FlatGraph,
+    FlatPart,
+    FlatSubproblem,
+    encode_part,
+    encode_subproblem,
+)
+from .planner import plan_units
+
+__all__ = [
+    "DEFAULT_MIN_SHIP",
+    "FlatGraph",
+    "FlatPart",
+    "FlatSubproblem",
+    "ShardRuntime",
+    "clear_caches",
+    "encode_part",
+    "encode_subproblem",
+    "plan_units",
+    "run_unit",
+]

@@ -1,0 +1,28 @@
+"""Process-cache hygiene for shard workers.
+
+The library keeps several process-global *pure* caches (structural LR
+memos, the sort-key cache, the block-order memo).  Sharing them is
+always correct — they cache pure functions — but a forked worker would
+otherwise start from a copy-on-write snapshot of whatever the parent
+had accumulated, which makes worker behavior depend on parent history
+in ways that are impossible to reason about (and that the cache-
+isolation test in ``tests/shard`` forbids).  The pool initializer calls
+:func:`clear_caches` so every worker starts cold and process-private.
+"""
+
+from __future__ import annotations
+
+__all__ = ["clear_caches"]
+
+
+def clear_caches() -> None:
+    """Reset every process-global cache in the library."""
+    # Submodule-direct imports: ``repro.planar`` re-exports a *function*
+    # named ``lr_planarity`` that shadows the submodule attribute.
+    from ..core.interface import clear_caches as clear_interface
+    from ..planar.graph import clear_caches as clear_graph
+    from ..planar.lr_planarity import clear_caches as clear_lr
+
+    clear_lr()
+    clear_graph()
+    clear_interface()

@@ -1,0 +1,249 @@
+"""Flat, picklable snapshots of recursion subproblems and their results.
+
+Everything that crosses the process boundary of the sharded backend is
+encoded here as arrays of ints over a node table instead of rich
+``Graph``/``PartEmbedding``/``BfsTree`` objects:
+
+* :class:`FlatGraph` — CSR adjacency (``indptr``/``indices`` arrays of
+  positions into a node table).  Each node *object* is pickled once per
+  snapshot, not once per incident edge, and the edge structure ships as
+  two flat ``array('q')`` buffers.
+* :class:`FlatPart` — a finished part: its graph, half-edge boundary,
+  and rotation rings, all indexing one shared table.
+* :class:`FlatSubproblem` — a work unit: one or more hanging subtrees
+  (tree structure as parent/depth arrays over an Euler-ordered member
+  list), the members' original-graph rows (for boundary scans), and a
+  full snapshot of the evolving ``current`` graph for split validation.
+
+Decoding is **exact**: node iteration order, adjacency insertion order,
+boundary order, and rotation rings round-trip bit-identically — the
+property the sharded backend's determinism contract rests on, and what
+``tests/shard/test_flat_roundtrip.py`` exercises (property-based where
+``hypothesis`` is available).
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass
+
+from ..core.parts import PartEmbedding
+from ..planar.graph import Graph, NodeId
+from ..planar.rotation import RotationSystem
+
+__all__ = [
+    "FlatGraph",
+    "FlatPart",
+    "FlatSubproblem",
+    "encode_part",
+    "encode_subproblem",
+]
+
+
+@dataclass
+class FlatGraph:
+    """CSR adjacency over a node table, preserving insertion order.
+
+    ``row_nodes`` are the nodes owning adjacency rows (in iteration
+    order); ``table`` additionally holds every referenced neighbor, so
+    ``indices`` positions resolve even when a neighbor owns no row (the
+    member-rows case: edges leaving the shipped subtree point at nodes
+    that stay behind).  For a full symmetric graph every table entry is
+    a row owner and :meth:`to_graph` reproduces the original exactly.
+    """
+
+    row_nodes: list
+    table: list
+    indptr: array  # len(row_nodes) + 1
+    indices: array  # positions into table
+
+    @classmethod
+    def encode(cls, graph: Graph, rows: "set | None" = None) -> "FlatGraph":
+        """Snapshot ``graph`` (or just the rows of ``rows``-members)."""
+        adj = graph._adj
+        if rows is None:
+            row_nodes = list(adj)
+        else:
+            row_nodes = [v for v in adj if v in rows]
+        table = list(row_nodes)
+        pos = {v: i for i, v in enumerate(table)}
+        indptr = array("q", [0])
+        indices = array("q")
+        for v in row_nodes:
+            for u in adj[v]:
+                j = pos.get(u)
+                if j is None:
+                    j = len(table)
+                    pos[u] = j
+                    table.append(u)
+                indices.append(j)
+            indptr.append(len(indices))
+        return cls(row_nodes=row_nodes, table=table, indptr=indptr, indices=indices)
+
+    def _decode(self) -> Graph:
+        g = Graph()
+        adj: dict[NodeId, dict[NodeId, None]] = {}
+        table = self.table
+        indices = self.indices
+        indptr = self.indptr
+        for i, v in enumerate(self.row_nodes):
+            adj[v] = {table[j]: None for j in indices[indptr[i]:indptr[i + 1]]}
+        g._adj = adj
+        return g
+
+    def to_graph(self) -> Graph:
+        """Exact decode of a full symmetric snapshot."""
+        return self._decode()
+
+    def to_row_graph(self) -> Graph:
+        """Decode a member-rows snapshot.
+
+        The result is a *row view*: only the encoded members own
+        adjacency rows, and their rows may point at nodes without rows
+        of their own.  It is valid exactly for what the recursion uses
+        ``ctx.graph`` for — per-member boundary scans — and must not be
+        fed to symmetric ``Graph`` algorithms.
+        """
+        return self._decode()
+
+
+@dataclass
+class FlatPart:
+    """A finished :class:`~repro.core.parts.PartEmbedding`, flattened.
+
+    The rotation graph (part graph plus stub pseudo-vertices) and its
+    rings index ``rot.table``; ring owner order matches
+    ``rot.row_nodes``.  The half-edge boundary ships as the plain list
+    of ``(inside, outside)`` pairs — outside targets are not part nodes,
+    and the list is tiny next to the adjacency buffers.
+    """
+
+    part_id: "int | tuple"
+    depth: int
+    graph: FlatGraph
+    boundary: list
+    rot: FlatGraph
+    ring_indptr: array
+    ring_indices: array  # positions into rot.table
+
+    def to_part(self) -> PartEmbedding:
+        graph = self.graph.to_graph()
+        rot_graph = self.rot.to_graph()
+        table = self.rot.table
+        indices = self.ring_indices
+        indptr = self.ring_indptr
+        orders = {
+            v: tuple(table[j] for j in indices[indptr[i]:indptr[i + 1]])
+            for i, v in enumerate(self.rot.row_nodes)
+        }
+        return PartEmbedding(
+            part_id=self.part_id,
+            graph=graph,
+            boundary=list(self.boundary),
+            rotation=RotationSystem.trusted(rot_graph, orders),
+            depth=self.depth,
+        )
+
+
+def encode_part(part: PartEmbedding) -> FlatPart:
+    rot = FlatGraph.encode(part.rotation.graph)
+    pos = {v: i for i, v in enumerate(rot.table)}
+    ring_indptr = array("q", [0])
+    ring_indices = array("q")
+    for v in rot.row_nodes:
+        for u in part.rotation.order(v):
+            ring_indices.append(pos[u])
+        ring_indptr.append(len(ring_indices))
+    return FlatPart(
+        part_id=part.part_id,
+        depth=part.depth,
+        graph=FlatGraph.encode(part.graph),
+        boundary=list(part.boundary),
+        rot=rot,
+        ring_indptr=ring_indptr,
+        ring_indices=ring_indices,
+    )
+
+
+@dataclass
+class FlatSubproblem:
+    """One shard work unit: a batch of sibling hanging subtrees.
+
+    ``tree_nodes`` concatenates the members of every shipped subtree in
+    Euler (preorder) order — parents precede children, children in BFS
+    tree order — so the worker rebuilds each ``BfsTree`` (parent,
+    ordered children lists, absolute depths) with one linear pass.
+    ``roots`` marks where each subtree starts and carries its recursion
+    ``level`` and path-tuple ``path`` (= part ID scheme).
+
+    ``member_rows`` holds the members' rows of the *original* wrapped
+    graph (boundary scans look outward); ``current`` snapshots the full
+    evolving graph at planning time, which split validation runs
+    against.  The snapshot may be stale by the time the parent consumes
+    the result — the parent replays the worker's split journal against
+    its authoritative graph and falls back to an inline recompute on any
+    verdict divergence, so staleness costs performance, never
+    correctness.
+    """
+
+    tree_nodes: list
+    parent_idx: array  # position of the parent in tree_nodes, -1 at subtree roots
+    depths: array  # absolute BFS depths
+    roots: list  # (start position in tree_nodes, level, path) per subtree
+    member_rows: FlatGraph
+    current: FlatGraph
+    known_planar: bool
+    bandwidth: int
+    splitter_strategy: str
+    scheduler: str
+    traced: bool
+
+    def subtree_slices(self) -> list:
+        """Per-subtree ``(start, end, level, path)`` bounds."""
+        out = []
+        for k, (start, level, path) in enumerate(self.roots):
+            end = (
+                self.roots[k + 1][0] if k + 1 < len(self.roots)
+                else len(self.tree_nodes)
+            )
+            out.append((start, end, level, path))
+        return out
+
+
+def encode_subproblem(
+    ctx,
+    subtrees: list,
+    current: FlatGraph,
+    scheduler: str,
+    traced: bool,
+) -> FlatSubproblem:
+    """Flatten the ``subtrees`` (``(root, level, path)`` triples, in
+    canonical sibling order) of the recursion context ``ctx``."""
+    index = ctx.index
+    tree_parent = ctx.tree.parent
+    depth_of = ctx.tree.depth_of
+    tree_nodes: list = []
+    parent_idx = array("q")
+    depths = array("q")
+    roots = []
+    pos: dict = {}
+    for w, level, path in subtrees:
+        roots.append((len(tree_nodes), level, path))
+        for v in index.subtree_span(w):
+            pos[v] = len(tree_nodes)
+            tree_nodes.append(v)
+            depths.append(depth_of[v])
+            parent_idx.append(-1 if v == w else pos[tree_parent[v]])
+    return FlatSubproblem(
+        tree_nodes=tree_nodes,
+        parent_idx=parent_idx,
+        depths=depths,
+        roots=roots,
+        member_rows=FlatGraph.encode(ctx.graph, rows=set(tree_nodes)),
+        current=current,
+        known_planar=bool(ctx.oracle is not None and ctx.oracle.known_planar),
+        bandwidth=ctx.bandwidth,
+        splitter_strategy=ctx.splitter_strategy,
+        scheduler=scheduler,
+        traced=traced,
+    )

@@ -1,0 +1,53 @@
+"""The shard planner: which hanging subtrees ship, batched how.
+
+Policy (costed on vertex counts from the shared E16
+:class:`~repro.core.index.RecursionIndex` — no extra walks):
+
+* subtrees smaller than ``min_ship`` stay inline — the IPC round trip
+  (pickle a ``current`` snapshot out, a part back) costs more than
+  embedding them here;
+* subtrees larger than ``max_unit`` also stay inline — their *own*
+  recursion re-plans, so an oversized part decomposes into shippable
+  grandchildren instead of serializing one worker behind a monolith;
+* consecutive shippable siblings are batched into work units of at most
+  ``max_unit`` total vertices, so one ``current`` snapshot amortizes
+  over several subtrees and the pool sees a few medium-grained units
+  rather than many tiny ones.
+
+Batching only ever groups *consecutive* siblings: the consume loop
+adopts results strictly in canonical sibling order, and a unit's worker
+runs its subtrees in that same order against one shared graph snapshot,
+which keeps the worker's split journal sequentially faithful.
+"""
+
+from __future__ import annotations
+
+__all__ = ["plan_units"]
+
+
+def plan_units(
+    sizes: list, min_ship: int, max_unit: int
+) -> list:
+    """Partition child indices into work units.
+
+    ``sizes[j]`` is the vertex count of the j-th hanging subtree.
+    Returns a list of units, each a list of child indices, in sibling
+    order.  Children absent from every unit stay inline.
+    """
+    units: list = []
+    unit: list = []
+    unit_size = 0
+    for j, size in enumerate(sizes):
+        if not (min_ship <= size <= max_unit):
+            if unit:
+                units.append(unit)
+                unit, unit_size = [], 0
+            continue
+        if unit and unit_size + size > max_unit:
+            units.append(unit)
+            unit, unit_size = [], 0
+        unit.append(j)
+        unit_size += size
+    if unit:
+        units.append(unit)
+    return units

@@ -1,0 +1,72 @@
+"""Worker processes must start with cold process-global caches.
+
+The library's pure memo caches (LR structural memos, sort-key cache,
+block-order memo) are process-global.  A forked pool worker would
+inherit a copy-on-write snapshot of whatever the parent accumulated —
+harmless for correctness (the caches are pure) but a reasoning hazard
+the shard backend forbids: worker behavior must not depend on parent
+history.  The pool initializer (:func:`repro.shard.clear_caches`)
+guarantees every worker starts cold; this test forks a worker from a
+parent with hot caches and asserts the worker observed empty ones.
+"""
+
+import importlib
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.planar.generators import random_maximal_planar
+from repro.shard import clear_caches
+
+# importlib: ``repro.planar`` re-exports a *function* ``lr_planarity``
+# that shadows the submodule attribute.
+lr_planarity = importlib.import_module("repro.planar.lr_planarity")
+graph_mod = importlib.import_module("repro.planar.graph")
+interface = importlib.import_module("repro.core.interface")
+
+
+def _cache_sizes() -> dict:
+    return {
+        "lr_decide": len(lr_planarity._DECIDE_MEMO),
+        "lr_embed": len(lr_planarity._EMBED_MEMO),
+        "sort_key": len(graph_mod._SORT_KEY_CACHE),
+        "block_order": len(interface._BLOCK_ORDER_MEMO),
+    }
+
+
+def _worker_probe() -> dict:
+    """What the pool initializer left behind in this worker process."""
+    return _cache_sizes()
+
+
+def _heat_caches() -> dict:
+    from repro import distributed_planar_embedding
+
+    distributed_planar_embedding(random_maximal_planar(30, seed=4))
+    sizes = _cache_sizes()
+    assert sizes["lr_decide"] > 0 or sizes["lr_embed"] > 0
+    assert sizes["sort_key"] > 0
+    return sizes
+
+
+@pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="cache inheritance only exists under fork",
+)
+def test_forked_worker_never_observes_parent_caches():
+    parent_sizes = _heat_caches()
+    ctx = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(
+        max_workers=1, mp_context=ctx, initializer=clear_caches
+    ) as pool:
+        worker_sizes = pool.submit(_worker_probe).result()
+    assert all(size == 0 for size in worker_sizes.values()), worker_sizes
+    # The parent's caches were not harmed by the worker's initializer.
+    assert _cache_sizes() == parent_sizes
+
+
+def test_clear_caches_resets_everything_in_process():
+    _heat_caches()
+    clear_caches()
+    assert all(size == 0 for size in _cache_sizes().values())

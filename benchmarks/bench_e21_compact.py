@@ -1,0 +1,210 @@
+"""E21 — compact certificates and incremental re-certification.
+
+Two claims, both gated by deterministic budgets (``cert_budget.json``):
+
+* **compression** — the bit-packed label codec
+  (:mod:`repro.certify.compact`) measures strictly fewer bits/node than
+  the E14 word-label baseline (``words × word_bits(n)``) on every
+  workload family, by at least the per-family floor recorded in the
+  budget file;
+* **incremental beats rebuild** — under a low-rate seeded edge-churn
+  workload, the delta engine (:mod:`repro.certify.delta`) re-certifies
+  each mutation in strictly fewer rounds than a full per-op rebuild of
+  the same op plan, by at least the budgeted speedup factor.
+
+Soundness rides along: an 80-case tamper sweep — every E14 adversary
+class replayed through the encode→decode shim, plus raw bit flips in
+the packed blobs themselves — must be detected 80/80 (in smoke mode
+too; soundness never shrinks).
+
+Encoding and churn are deterministic, so measured ratios are
+exact-reproducible; budgets carry ~5% headroom over the values measured
+when the gate was set.  If a codec or engine change legitimately moves
+them, re-measure and update ``cert_budget.json`` in the same PR,
+explaining the delta.
+
+``REPRO_BENCH_SMOKE=1`` keeps one size per family and a shorter churn;
+the budget gates and the 80/80 sweep run in both modes.
+"""
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from repro import distributed_planar_embedding
+from repro.analysis import print_table, verdict
+from repro.certify import (
+    TAMPER_CLASSES,
+    DynamicCertifiedEmbedding,
+    apply_tamper,
+    build_certificates,
+    encode_certificates,
+    verify_compact,
+)
+from repro.planar.generators import demo_graph
+
+SMOKE = bool(os.environ.get("REPRO_BENCH_SMOKE"))
+SIZES = (7,) if SMOKE else (7, 10)
+CHURN_OPS = 6 if SMOKE else 10
+GATE_SIZE = 7  # budget gates pin the size every mode runs
+
+FAMILIES = [
+    ("grid", lambda k: ["grid", k, k]),
+    ("trigrid", lambda k: ["trigrid", k, k]),
+    ("cycle", lambda k: ["cycle", k * k]),
+    ("maximal", lambda k: ["maximal", k * k]),
+    ("outerplanar", lambda k: ["outerplanar", k * k]),
+    ("tree", lambda k: ["tree", k * k]),
+]
+
+BUDGET_PATH = Path(__file__).resolve().parent / "cert_budget.json"
+TAMPER_TOTAL = 80
+
+
+def run_experiment(report=None):
+    series = {}
+    rows = []
+    for name, spec in FAMILIES:
+        points = []
+        for k in SIZES:
+            g = demo_graph(spec(k), seed=k)
+            result = distributed_planar_embedding(g)
+            certs = build_certificates(g, result.rotation_system)
+            compact = encode_certificates(g, certs)
+            baseline_bits = certs.size_bits()
+            baseline_mean = sum(baseline_bits.values()) / len(baseline_bits)
+            point = {
+                "family": name,
+                "n": g.num_nodes,
+                "m": g.num_edges,
+                "word_bits_mean": round(baseline_mean, 2),
+                "word_bits_max": max(baseline_bits.values()),
+                "compact_bits_mean": round(compact.mean_bits(), 2),
+                "compact_bits_max": compact.max_bits(),
+                "compression": round(baseline_mean / compact.mean_bits(), 4),
+            }
+
+            if k == GATE_SIZE:
+                # Low-rate churn: the same op plan on the incremental
+                # engine vs a full per-op rebuild.
+                t0 = time.perf_counter()
+                inc = DynamicCertifiedEmbedding(g, incremental=True)
+                inc_churn = inc.run_churn(CHURN_OPS, seed=k)
+                inc_wall = time.perf_counter() - t0
+                assert inc_churn.accepted, f"{name} k={k}: incremental churn rejected"
+                full = DynamicCertifiedEmbedding(g, incremental=False)
+                full_churn = full.run_churn(len(inc_churn.plan), plan=inc_churn.plan)
+                assert full_churn.accepted, f"{name} k={k}: rebuild churn rejected"
+                point.update({
+                    "churn_ops": len(inc_churn.plan),
+                    "inc_rounds_mean": round(inc_churn.mean_op_rounds(), 2),
+                    "rebuild_rounds_mean": round(full_churn.mean_op_rounds(), 2),
+                    "patched_ops": inc_churn.stats["patched"],
+                    "speedup": round(
+                        full_churn.mean_op_rounds() / inc_churn.mean_op_rounds(), 2
+                    ),
+                    "churn_wall_s": round(inc_wall, 6),
+                })
+
+            points.append(point)
+            if report is not None:
+                report.record(**point)
+            rows.append([
+                name, g.num_nodes,
+                point["word_bits_mean"], point["compact_bits_mean"],
+                point["compression"],
+                point.get("inc_rounds_mean", "-"),
+                point.get("rebuild_rounds_mean", "-"),
+                point.get("speedup", "-"),
+            ])
+        series[name] = points
+    print_table(
+        ["family", "n", "word bits/node", "compact bits/node", "ratio",
+         "inc rounds/op", "rebuild rounds/op", "speedup"],
+        rows,
+        title="E21: compact labels vs E14 words; incremental vs rebuild re-cert",
+    )
+
+    series["_tamper"] = run_tamper_sweep()
+    return series
+
+
+def run_tamper_sweep():
+    """80 corruptions of compact certificates; count detections.
+
+    60 are the E14 adversary classes replayed through the codec shim
+    (every class x every family x 2 trials), 20 are single-bit flips in
+    the packed blobs themselves — corruption the word-label suite cannot
+    even express.
+    """
+    detected = 0
+    total = 0
+    flip_rng = random.Random(2126)
+    flips_per_family = 20 // len(FAMILIES)
+    for fam_index, (name, spec) in enumerate(FAMILIES):
+        g = demo_graph(spec(GATE_SIZE), seed=GATE_SIZE)
+        result = distributed_planar_embedding(g)
+        certs = build_certificates(g, result.rotation_system)
+        honest = encode_certificates(g, certs)
+        assert verify_compact(g, result.rotation, honest).accepted
+
+        for cls in sorted(TAMPER_CLASSES):
+            for trial in range(2):
+                rot = {v: tuple(order) for v, order in result.rotation.items()}
+                tampered = certs.copy()
+                apply_tamper(cls, g, rot, tampered, seed=100 * fam_index + trial)
+                compact = encode_certificates(g, tampered)
+                total += 1
+                detected += 0 if verify_compact(g, rot, compact).accepted else 1
+
+        budget = flips_per_family + (1 if fam_index < 20 % len(FAMILIES) else 0)
+        nodes = sorted(honest.blobs, key=repr)
+        for _ in range(budget):
+            node = flip_rng.choice(nodes)
+            nbits = honest.blobs[node][1]
+            flipped = honest.copy()
+            flipped.flip_bit(node, flip_rng.randrange(nbits))
+            total += 1
+            detected += 0 if verify_compact(g, result.rotation, flipped).accepted else 1
+    assert total == TAMPER_TOTAL, f"sweep sized {total}, expected {TAMPER_TOTAL}"
+    return {"total": total, "detected": detected}
+
+
+def test_e21_compact(run_once, bench_report):
+    series = run_once(run_experiment, bench_report)
+    budget = json.loads(BUDGET_PATH.read_text())
+    sweep = series.pop("_tamper")
+    ok = verdict(
+        f"E21: tamper sweep on compact labels {sweep['detected']}/{sweep['total']}",
+        sweep["detected"] == sweep["total"] == TAMPER_TOTAL,
+        "every codec-shim tamper and packed bit flip detected",
+    )
+    for name, points in series.items():
+        # Compression: strictly below the word baseline everywhere, and
+        # above the budgeted per-family floor at the gate size.
+        ok &= verdict(
+            f"E21/{name}: compact bits/node strictly below E14 words",
+            all(p["compact_bits_mean"] < p["word_bits_mean"] for p in points),
+            " ".join(f"{p['compact_bits_mean']}<{p['word_bits_mean']}" for p in points),
+        )
+        gate = next(p for p in points if "speedup" in p)
+        floor = budget["compression"][f"{name}:{gate['n']}"]
+        ok &= verdict(
+            f"E21/{name}: compression ratio >= {floor} (budget)",
+            gate["compression"] >= floor,
+            f"measured {gate['compression']}",
+        )
+        # Incremental re-certification: strictly fewer rounds than the
+        # full per-op rebuild of the same plan, above the budget floor.
+        floor = budget["incremental_speedup"][f"{name}:{gate['n']}"]
+        ok &= verdict(
+            f"E21/{name}: incremental re-cert beats rebuild by >= {floor}x",
+            gate["inc_rounds_mean"] < gate["rebuild_rounds_mean"]
+            and gate["speedup"] >= floor,
+            f"{gate['inc_rounds_mean']} vs {gate['rebuild_rounds_mean']} rounds/op"
+            f" ({gate['speedup']}x, {gate['patched_ops']}/{gate['churn_ops']}"
+            f" ops patched)",
+        )
+    assert ok

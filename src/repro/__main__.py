@@ -4,6 +4,7 @@ Usage::
 
     repro <edgelist-file> [--baseline] [--bandwidth W] [--quiet]
     repro --demo grid 8 8
+    repro --demo grid 8 8 --churn 16 --incremental-certify --json
     repro --demo grid 8 8 --trace run.jsonl --json
     repro --view-trace run.jsonl
     repro trace-diff a.jsonl b.jsonl
@@ -39,6 +40,18 @@ Certification: ``--certify`` appends the :mod:`repro.certify` phases —
 every node gets an O(log n)-bit proof label and a distributed CONGEST
 verifier re-checks the output in O(D) rounds; ``--certify-adversary``
 additionally runs the tamper suite and demands 100% detection.
+Labels ship bit-packed (:mod:`repro.certify.compact`); the report's
+``certification`` block carries the measured ``label_bits_*`` sizes.
+
+Churn: ``--churn N`` (implies ``--certify``) applies N seeded edge
+insert/delete operations after the initial pipeline and re-certifies
+after every one; ``--incremental-certify`` patches only each edit's
+dirty region (tree path + incident faces) instead of re-running the
+full pipeline per operation, falling back to a rebuild past the
+dirty-region threshold (:mod:`repro.certify.delta`).  The ``churn``
+block of the ``--json`` report records per-op mode, dirty-region size,
+rounds, and the final verdict; a rejected patched certificate exits 3
+exactly like a rejected static one.
 
 Robustness: ``--faults SPEC`` runs the self-healing pipeline under a
 deterministic chaos schedule (:mod:`repro.congest.faults`) — e.g.
@@ -193,8 +206,25 @@ def main(argv: list[str] | None = None) -> int:
                         help="also run the certificate tamper suite "
                              "(implies --certify); exits 3 unless every "
                              "tamper is detected")
+    parser.add_argument("--churn", type=int, default=None, metavar="N",
+                        help="after embedding + certifying, apply N seeded "
+                             "edge insert/delete operations and re-certify "
+                             "after every one (implies --certify; the op "
+                             "plan is seeded by --seed)")
+    parser.add_argument("--incremental-certify", action="store_true",
+                        dest="incremental_certify",
+                        help="with --churn: re-certify incrementally — "
+                             "re-prove and re-verify only the dirty region "
+                             "of each edit, falling back to a full rebuild "
+                             "past the threshold (default: full re-embed + "
+                             "re-certify per operation)")
     parser.add_argument("--bandwidth", type=int, default=1, metavar="W",
                         help="CONGEST words per edge per round (default 1)")
+    parser.add_argument("--shard-stats", action="store_true", dest="shard_stats",
+                        help="include the sharded backend's dispatch "
+                             "accounting under \"shard_stats\" in the --json "
+                             "report (off by default: to_report() stays "
+                             "bit-identical across --shard-workers settings)")
     parser.add_argument("--shard-workers", type=int, default=0, metavar="K",
                         dest="shard_workers",
                         help="embed large hanging subtrees in K worker "
@@ -266,6 +296,25 @@ def main(argv: list[str] | None = None) -> int:
     say(f"network: n={graph.num_nodes}, m={graph.num_edges}")
     certify = args.certify or args.certify_adversary
 
+    if args.incremental_certify and args.churn is None:
+        parser.error("--incremental-certify selects the --churn "
+                     "re-certification mode; it needs --churn")
+    if args.churn is not None:
+        if args.churn < 1:
+            parser.error("--churn must be >= 1")
+        if args.baseline:
+            parser.error("--churn drives the certified dynamic engine, "
+                         "not --baseline")
+        if args.faults is not None:
+            parser.error("--churn and --faults are separate workloads; "
+                         "pick one")
+        if args.certify_adversary:
+            parser.error("--certify-adversary tampers a static run; "
+                         "it does not compose with --churn")
+        if graph.num_nodes < 2:
+            parser.error("--churn needs a network with at least two nodes")
+        certify = True  # churn is certificate-driven by construction
+
     fault_plan = None
     if args.faults is not None:
         if args.baseline:
@@ -318,6 +367,7 @@ def main(argv: list[str] | None = None) -> int:
         profiler.enable()
     t0 = time.perf_counter()
     driver = None
+    churn_report = None
     try:
         if args.baseline:
             result = trivial_baseline_embedding(graph, bandwidth_words=args.bandwidth)
@@ -338,6 +388,21 @@ def main(argv: list[str] | None = None) -> int:
             )
             say("algorithm: self-healing Theorem 1.1 pipeline")
             say(f"chaos schedule: {fault_plan.describe()}")
+        elif args.churn is not None:
+            from .certify import DynamicCertifiedEmbedding
+
+            engine = DynamicCertifiedEmbedding(
+                graph,
+                incremental=args.incremental_certify,
+                bandwidth_words=args.bandwidth,
+                tracer=tracer,
+            )
+            churn_report = engine.run_churn(args.churn, seed=args.seed)
+            result = engine.to_result()
+            mode = ("incremental" if args.incremental_certify
+                    else "full-rebuild")
+            say("algorithm: Theorem 1.1 pipeline + dynamic re-certification")
+            say(f"churn mode: {mode} re-certification")
         else:
             driver = DistributedPlanarEmbedding(
                 graph,
@@ -442,6 +507,13 @@ def main(argv: list[str] | None = None) -> int:
             _print_profile(say, profile_rows)
         return 4
     say(f"result: planar embedding in {result.rounds} CONGEST rounds")
+    if churn_report is not None:
+        st = churn_report.stats
+        say(f"churn: {st['ops']} ops ({st['inserts']} inserts,"
+            f" {st['deletes']} deletes) -> {st['patched']} patched,"
+            f" {st['cert_rebuilds']} certificate rebuilds,"
+            f" {st['embed_rebuilds']} embed rebuilds;"
+            f" mean {churn_report.mean_op_rounds():.1f} rounds/op")
     if args.causal and causal_report is not None:
         _say_causal(say, causal_report, result, graph)
     if getattr(result, "heal_attempts", 0):
@@ -475,6 +547,10 @@ def main(argv: list[str] | None = None) -> int:
     if certify:
         say(f"certification: {result.certification.summary()}")
         if not result.certification.accepted:
+            exit_code = 3
+        if churn_report is not None and not churn_report.accepted:
+            # Some per-op scoped verification rejected even though the
+            # final full pass may look clean: still an algorithm bug.
             exit_code = 3
         if args.certify_adversary:
             if graph.num_nodes < 2:
@@ -525,6 +601,13 @@ def main(argv: list[str] | None = None) -> int:
         )
         if suite is not None:
             report["tamper_suite"] = suite.to_dict()
+        if churn_report is not None:
+            report["churn"] = churn_report.to_dict()
+        if args.shard_stats:
+            # Opt-in only, and added here rather than in to_report():
+            # the canonical report must stay bit-identical across
+            # --shard-workers settings (serve-layer cache contract).
+            report["shard_stats"] = getattr(result, "shard_stats", None)
         if profile_rows is not None:
             report["profile"] = profile_rows
         print(json.dumps(report, default=repr))

@@ -13,7 +13,12 @@ al., PODC 2020):
   CONGEST node program: one label exchange per edge, local predicate
   checks, network-wide verdict in O(D) rounds, all ledgered and traced;
 * :mod:`~repro.certify.adversary` — the tamper harness asserting
-  soundness: every corruption class is rejected by at least one node.
+  soundness: every corruption class is rejected by at least one node;
+* :mod:`~repro.certify.compact` — the O(log n)-*bit* packed label codec
+  and the shim that verifies packed labels with the unchanged verifier;
+* :mod:`~repro.certify.delta` — incremental re-certification: patch
+  only the dirty region under edge churn or after a chaos heal, with a
+  full-rebuild fallback past a dirty-region threshold.
 """
 
 from .adversary import (
@@ -22,6 +27,20 @@ from .adversary import (
     TamperSuiteReport,
     apply_tamper,
     run_tamper_suite,
+)
+from .compact import (
+    CompactCertificateSet,
+    CompactDecodeError,
+    encode_certificates,
+    verify_compact,
+)
+from .delta import (
+    DEFAULT_FALLBACK_RATIO,
+    ChurnReport,
+    DynamicCertifiedEmbedding,
+    PatchRecord,
+    RepairOutcome,
+    repair_certificates,
 )
 from .labels import CertificateSet, DartLabel, NodeCertificate
 from .prover import build_certificates, face_labels
@@ -49,4 +68,14 @@ __all__ = [
     "TAMPER_CLASSES",
     "apply_tamper",
     "run_tamper_suite",
+    "CompactCertificateSet",
+    "CompactDecodeError",
+    "encode_certificates",
+    "verify_compact",
+    "ChurnReport",
+    "DynamicCertifiedEmbedding",
+    "DEFAULT_FALLBACK_RATIO",
+    "PatchRecord",
+    "RepairOutcome",
+    "repair_certificates",
 ]

@@ -138,10 +138,22 @@ class CertificateSet:
         sizes = self.size_words()
         return sum(sizes.values()) / len(sizes) if sizes else 0.0
 
+    def size_bits(self) -> dict[NodeId, int]:
+        """Per-node label size in *bits* under word encoding: the E14
+        baseline (``words × word_bits(n)``) that the compact codec
+        (:mod:`repro.certify.compact`) is measured against."""
+        bits = word_bits(max(1, len(self.labels)))
+        return {v: c.words(bits) * bits for v, c in self.labels.items()}
+
     def to_dict(self) -> dict:
         """A JSON-ready size summary (labels themselves stay binary-ish)."""
+        bit_sizes = self.size_bits()
         return {
             "nodes": len(self.labels),
             "words_max": self.max_words(),
             "words_mean": round(self.mean_words(), 2),
+            "bits_max": max(bit_sizes.values(), default=0),
+            "bits_mean": (
+                round(sum(bit_sizes.values()) / len(bit_sizes), 2) if bit_sizes else 0.0
+            ),
         }

@@ -99,9 +99,18 @@ class CertificationReport:
     announced_rejections: int
     label_words_max: int = 0
     label_words_mean: float = 0.0
+    # Measured certificate sizes in *bits*: the word-label baseline when
+    # verifying a plain CertificateSet, the packed blob sizes when the
+    # compact codec shim (repro.certify.compact.verify_compact) ran.
+    label_bits_total: int = 0
+    label_bits_max: int = 0
+    label_bits_mean: float = 0.0
+    # Per-node codec diagnoses from the compact shim (None = no codec in
+    # the path or every blob decoded).
+    decode_errors: dict[str, str] | None = None
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        out = {
             "accepted": self.accepted,
             "rounds": self.rounds,
             "nodes": self.nodes,
@@ -109,8 +118,14 @@ class CertificationReport:
             "announced_rejections": self.announced_rejections,
             "label_words_max": self.label_words_max,
             "label_words_mean": round(self.label_words_mean, 2),
+            "label_bits_total": self.label_bits_total,
+            "label_bits_max": self.label_bits_max,
+            "label_bits_mean": round(self.label_bits_mean, 2),
             "rejections": [r.to_dict() for r in self.rejections[:20]],
         }
+        if self.decode_errors is not None:
+            out["decode_errors"] = dict(self.decode_errors)
+        return out
 
     def summary(self) -> str:
         if self.accepted:
@@ -408,6 +423,7 @@ def verify_distributed(
             announced_ok = int(not rejections)
             announced_rejections = len(rejections)
 
+    bit_sizes = certificates.size_bits()
     return CertificationReport(
         accepted=not rejections,
         rejections=rejections,
@@ -417,6 +433,11 @@ def verify_distributed(
         announced_rejections=announced_rejections,
         label_words_max=certificates.max_words(),
         label_words_mean=certificates.mean_words(),
+        label_bits_total=sum(bit_sizes.values()),
+        label_bits_max=max(bit_sizes.values(), default=0),
+        label_bits_mean=(
+            sum(bit_sizes.values()) / len(bit_sizes) if bit_sizes else 0.0
+        ),
     )
 
 

@@ -67,6 +67,10 @@ class EmbeddingResult:
     diameter_upper: int = 0  # the 2-approximation of D (2 * ecc(s*))
     certificates: "CertificateSet | None" = None  # proof labels, if certified
     certification: "CertificationReport | None" = None  # last verifier outcome
+    # The bit-packed form of ``certificates`` (repro.certify.compact) —
+    # what verification actually ships; measured bits land on
+    # ``certification.label_bits_*``.
+    compact_certificates: "object | None" = None
     split_tests: int = 0  # multi-edge bundle split validations run
     split_rejections: int = 0  # splits rolled back as planarity-breaking
     split_oracle: dict | None = None  # scoped-oracle counters (None = reference path)
@@ -103,13 +107,17 @@ class EmbeddingResult:
         """Certify this embedding and verify it distributedly (O(D) rounds).
 
         Builds the proof labels on first use (a real O(D) construction:
-        election, BFS, convergecast) and runs the CONGEST verifier.  All
-        rounds land in ``metrics`` — by default this result's own ledger,
-        so ``result.rounds`` then covers embedding *and* certification.
+        election, BFS, convergecast), packs them through the compact
+        codec (:mod:`repro.certify.compact`), and runs the CONGEST
+        verifier on the decoded labels — the codec shim, so the verifier
+        predicates are unchanged while ``certification.label_bits_*``
+        report the measured packed sizes.  All rounds land in
+        ``metrics`` — by default this result's own ledger, so
+        ``result.rounds`` then covers embedding *and* certification.
         Stores and returns the :class:`~repro.certify.CertificationReport`.
         """
         from ..certify import build_certificates
-        from ..certify import verify_distributed as _verify_distributed
+        from ..certify.compact import encode_certificates, verify_compact
         from ..certify.verifier import VERIFIER_BANDWIDTH_WORDS
 
         ledger = metrics if metrics is not None else self.metrics
@@ -117,10 +125,11 @@ class EmbeddingResult:
             self.certificates = build_certificates(
                 self.graph, self.rotation_system, metrics=ledger, tracer=tracer
             )
-        self.certification = _verify_distributed(
+        self.compact_certificates = encode_certificates(self.graph, self.certificates)
+        self.certification = verify_compact(
             self.graph,
             self.rotation,
-            self.certificates,
+            self.compact_certificates,
             metrics=ledger,
             tracer=tracer,
             bandwidth_words=(
@@ -156,7 +165,10 @@ class EmbeddingResult:
         if self.certification is not None:
             report["certification"] = self.certification.to_dict()
         if self.certificates is not None:
-            report["certificates"] = self.certificates.to_dict()
+            cert_sizes = self.certificates.to_dict()
+            if self.compact_certificates is not None:
+                cert_sizes["compact"] = self.compact_certificates.to_dict()
+            report["certificates"] = cert_sizes
         if self.heal_attempts:
             report["healing"] = {
                 "attempts": self.heal_attempts,
@@ -676,8 +688,40 @@ def self_healing_embedding(
             if rejections == 1:
                 heal_log.append("healing: re-verifying (rejection may be transient)")
             elif rejections == 2:
-                heal_log.append("healing: rebuilding certificates from the rotation system")
-                result.certificates = None
+                # Incremental re-certification (E21): patch only the
+                # dirty region around the rejecting nodes from the
+                # honest rotation system, falling back to a full label
+                # rebuild when the region exceeds the threshold.
+                dirty = {r.node for r in last_report.rejections}
+                heal_log.append(
+                    "healing: incremental re-certification of the dirty region"
+                    f" ({len(dirty)} rejecting nodes)"
+                )
+                try:
+                    from ..certify.delta import repair_certificates
+
+                    outcome = repair_certificates(
+                        result.graph,
+                        result.rotation_system,
+                        result.certificates,
+                        dirty,
+                        metrics=master,
+                        tracer=tracer,
+                    )
+                    result.certificates = outcome.certificates
+                    heal_log.append(
+                        f"healing: {outcome.mode} {outcome.patched} label(s)"
+                        f" in {outcome.rounds} rounds"
+                    )
+                except Exception as exc:  # noqa: BLE001 - same contract as
+                    # the ladder: under faults almost any error is
+                    # reachable; degrade to the full rebuild rung.
+                    heal_log.append(
+                        f"healing: incremental repair failed"
+                        f" ({type(exc).__name__}: {exc});"
+                        " rebuilding certificates from the rotation system"
+                    )
+                    result.certificates = None
                 result.certification = None
             else:
                 heal_log.append("healing: re-embedding from scratch")

@@ -103,6 +103,33 @@ def execute_job(payload: dict) -> dict:
                     "type": "CertificationRejected",
                     "message": result.certification.summary(),
                 }
+        elif kind == "churn":
+            from ..certify import DynamicCertifiedEmbedding
+
+            engine = DynamicCertifiedEmbedding(
+                graph,
+                incremental=config.get("incremental", True),
+                bandwidth_words=bandwidth,
+            )
+            churn = engine.run_churn(
+                config.get("churn_ops", 8), seed=config.get("churn_seed", 0)
+            )
+            result = engine.to_result()
+            report = result.to_report()
+            report["churn"] = churn.to_dict()
+            record = {
+                "outcome": "ok",
+                "report": report,
+                "rotation": _rotation_repr(result.rotation),
+            }
+            if not churn.accepted:
+                # A patched (or rebuilt) certificate the verifier
+                # rejected: an algorithm bug, never cached.
+                record["outcome"] = "error"
+                record["error"] = {
+                    "type": "CertificationRejected",
+                    "message": churn.final_certification.summary(),
+                }
         elif kind == "heal":
             from ..congest.faults import FaultPlan
             from ..core import self_healing_embedding
@@ -360,7 +387,16 @@ class ServiceDriver:
         inflight.pop(flight_key, None)
         waiter.set_result(record)
         if record["outcome"] in ("ok", "non-planar"):
-            canonical_rotation = self._canonical_rotation(job.graph, form, record)
+            # Churn verdicts are exact-tier only: the op plan picks
+            # endpoints by repr order, so it is not invariant under the
+            # relabelings a canonical remap hit would equate — and the
+            # rotation describes the churned edge set, not the
+            # submitted one.
+            canonical_rotation = (
+                None
+                if job.kind == "churn"
+                else self._canonical_rotation(job.graph, form, record)
+            )
             cache.store(key, exact, record, canonical_rotation)
         return self._outcome(job, "miss", submitted, record)
 

@@ -12,8 +12,10 @@ Job object fields:
 
 ``kind``
     ``"embed"`` (default), ``"certify"`` (embed + distributed
-    certification), or ``"heal"`` (the self-healing pipeline under an
-    optional chaos schedule).
+    certification), ``"heal"`` (the self-healing pipeline under an
+    optional chaos schedule), or ``"churn"`` (embed + certify, then a
+    seeded edge insert/delete workload with per-op re-certification —
+    see :mod:`repro.certify.delta`).
 ``edges`` / ``demo``
     Exactly one graph source: ``edges`` is a list of ``[u, v]`` pairs
     (int or string node IDs, insertion order preserved — it is
@@ -31,7 +33,10 @@ Job object fields:
     ``shard_workers`` (per-job recursion worker processes, default 0 =
     sequential; see :mod:`repro.shard`) for all kinds; ``faults`` (a
     chaos spec string), ``fault_seed``, and ``max_retries``
-    additionally for ``heal``.  ``shard_workers`` never changes a
+    additionally for ``heal``; ``churn_ops`` (operation count, default
+    8), ``churn_seed`` (op-plan seed, default 0), and ``incremental``
+    (patch the dirty region vs full rebuild per op, default true)
+    additionally for ``churn``.  ``shard_workers`` never changes a
     verdict — the sharded path is bit-identical — and is ignored under
     fault injection, but an *explicit* value does enter the cache key
     like any other config field, so omit it when cache sharing across
@@ -51,10 +56,11 @@ from ..planar.graph import Graph, NodeId
 
 __all__ = ["Job", "JobSpecError", "JOB_KINDS", "parse_job", "load_jobs", "config_key"]
 
-JOB_KINDS = ("embed", "certify", "heal")
+JOB_KINDS = ("embed", "certify", "heal", "churn")
 
 _COMMON_CONFIG = {"bandwidth", "shard_workers"}
 _HEAL_CONFIG = {"faults", "fault_seed", "max_retries"}
+_CHURN_CONFIG = {"churn_ops", "churn_seed", "incremental"}
 
 
 class JobSpecError(ValueError):
@@ -65,6 +71,8 @@ def _default_config(kind: str) -> dict:
     config: dict = {"bandwidth": 1}
     if kind == "heal":
         config.update({"faults": None, "fault_seed": 0, "max_retries": 3})
+    elif kind == "churn":
+        config.update({"churn_ops": 8, "churn_seed": 0, "incremental": True})
     return config
 
 
@@ -146,7 +154,11 @@ def parse_job(obj: dict, index: int = 0) -> Job:
         raise JobSpecError(f"job {index}: graph must be connected")
 
     config = _default_config(kind)
-    allowed = _COMMON_CONFIG | (_HEAL_CONFIG if kind == "heal" else set())
+    allowed = _COMMON_CONFIG | (
+        _HEAL_CONFIG if kind == "heal"
+        else _CHURN_CONFIG if kind == "churn"
+        else set()
+    )
     supplied = obj.get("config", {})
     if not isinstance(supplied, dict):
         raise JobSpecError(f"job {index}: 'config' must be an object")
@@ -171,6 +183,15 @@ def parse_job(obj: dict, index: int = 0) -> Job:
             raise JobSpecError(f"job {index}: config.fault_seed must be an integer")
         if not isinstance(config["max_retries"], int) or config["max_retries"] < 0:
             raise JobSpecError(f"job {index}: config.max_retries must be an integer >= 0")
+    if kind == "churn":
+        if not isinstance(config["churn_ops"], int) or config["churn_ops"] < 1:
+            raise JobSpecError(f"job {index}: config.churn_ops must be an integer >= 1")
+        if not isinstance(config["churn_seed"], int):
+            raise JobSpecError(f"job {index}: config.churn_seed must be an integer")
+        if not isinstance(config["incremental"], bool):
+            raise JobSpecError(f"job {index}: config.incremental must be a boolean")
+        if graph.num_nodes < 2:
+            raise JobSpecError(f"job {index}: churn needs at least two nodes")
 
     job_id = obj.get("id", f"job-{index}")
     if not isinstance(job_id, str):

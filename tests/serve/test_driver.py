@@ -164,3 +164,40 @@ class TestServiceDriver:
         assert obj["id"] == "w" and obj["outcome"] == "ok" and obj["cache"] == "miss"
         assert "outcome" not in obj["verdict"]
         json.dumps(obj)  # wire-ready
+
+
+class TestChurnExecution:
+    def test_churn_ok(self):
+        record = execute_job(
+            parse_job(
+                {"demo": ["grid", 4, 4], "kind": "churn",
+                 "config": {"churn_ops": 3, "incremental": True}}
+            ).payload()
+        )
+        assert record["outcome"] == "ok"
+        churn = record["report"]["churn"]
+        assert churn["accepted"] is True and churn["ops"] == 3
+        assert record["report"]["certification"]["accepted"] is True
+
+    def test_churn_is_deterministic_and_exact_cached(self):
+        spec = {"demo": ["grid", 4, 4], "kind": "churn",
+                "config": {"churn_ops": 3, "churn_seed": 2, "incremental": True}}
+        a = execute_job(parse_job(spec).payload())
+        b = execute_job(parse_job(spec).payload())
+        assert a == b
+        outcomes = ServiceDriver(workers=0, cache=ResultCache(capacity=8)).run(
+            [parse_job(spec, 0), parse_job(spec, 1)]
+        )
+        assert [o.cache for o in outcomes] == ["miss", "exact"]
+        assert outcomes[0].record == outcomes[1].record
+
+    def test_churn_never_hits_canonical_tier(self):
+        """A relabeled copy of the same topology must recompute: the op
+        plan is repr-ordered, not isomorphism-invariant."""
+        base = {"kind": "churn", "config": {"churn_ops": 2}}
+        job_a = parse_job({**base, "edges": [[0, 1], [1, 2], [2, 0], [2, 3], [3, 0]]}, 0)
+        job_b = parse_job({**base, "edges": [[7, 8], [8, 9], [9, 7], [9, 5], [5, 7]]}, 1)
+        outcomes = ServiceDriver(workers=0, cache=ResultCache(capacity=8)).run(
+            [job_a, job_b]
+        )
+        assert [o.cache for o in outcomes] == ["miss", "miss"]

@@ -154,3 +154,22 @@ class TestResultCache:
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             ResultCache(capacity=0)
+
+
+class TestChurnJobs:
+    def test_churn_config_defaults(self):
+        job = parse_job({"demo": ["grid", 3, 3], "kind": "churn"})
+        assert job.config == {
+            "bandwidth": 1, "churn_ops": 8, "churn_seed": 0, "incremental": True,
+        }
+
+    @pytest.mark.parametrize("bad", [
+        {"demo": ["grid", 3, 3], "kind": "churn", "config": {"churn_ops": 0}},
+        {"demo": ["grid", 3, 3], "kind": "churn", "config": {"churn_seed": "x"}},
+        {"demo": ["grid", 3, 3], "kind": "churn", "config": {"incremental": 1}},
+        {"demo": ["grid", 3, 3], "config": {"churn_ops": 4}},  # churn-only key on embed
+        {"demo": ["grid", 3, 3], "kind": "churn", "config": {"faults": "drop=0.1"}},
+    ])
+    def test_churn_rejects(self, bad):
+        with pytest.raises(JobSpecError):
+            parse_job(bad)

@@ -302,3 +302,90 @@ class TestTracing:
     def test_trace_with_baseline_conflict(self):
         with pytest.raises(SystemExit):
             main(["--demo", "grid", "4", "4", "--baseline", "--trace", "-"])
+
+
+class TestChurn:
+    def test_incremental_churn_exits_zero(self, capsys):
+        code = main(["--demo", "grid", "5", "5", "--churn", "4",
+                     "--incremental-certify", "--quiet"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "dynamic re-certification" in out
+        assert "churn mode: incremental" in out
+        assert "churn: 4 ops" in out
+        assert "certification ACCEPTED" in out
+
+    def test_full_rebuild_churn_json(self, capsys):
+        code = main(["--demo", "grid", "4", "4", "--churn", "3", "--json", "--quiet"])
+        captured = capsys.readouterr()
+        assert code == 0
+        report = json.loads(captured.out)
+        churn = report["churn"]
+        assert churn["incremental"] is False
+        assert churn["accepted"] is True
+        assert churn["ops"] == 3
+        assert len(churn["records"]) == 3
+        assert all(r["mode"] == "rebuild-embed" for r in churn["records"])
+        assert report["certification"]["accepted"] is True
+        assert report["certification"]["label_bits_total"] > 0
+        assert report["certificates"]["compact"]["bits_total"] > 0
+
+    def test_incremental_cheaper_than_rebuild(self, capsys):
+        main(["--demo", "grid", "5", "5", "--churn", "4",
+              "--incremental-certify", "--json", "--quiet"])
+        inc = json.loads(capsys.readouterr().out)["churn"]
+        main(["--demo", "grid", "5", "5", "--churn", "4", "--json", "--quiet"])
+        full = json.loads(capsys.readouterr().out)["churn"]
+        assert inc["op_rounds"] < full["op_rounds"]
+
+    def test_churn_seed_reproducible(self, capsys):
+        main(["--demo", "grid", "4", "4", "--churn", "3", "--seed", "5",
+              "--incremental-certify", "--json", "--quiet"])
+        first = json.loads(capsys.readouterr().out)["churn"]
+        main(["--demo", "grid", "4", "4", "--churn", "3", "--seed", "5",
+              "--incremental-certify", "--json", "--quiet"])
+        second = json.loads(capsys.readouterr().out)["churn"]
+        assert first == second
+
+    def test_churn_flag_conflicts(self):
+        with pytest.raises(SystemExit):
+            main(["--demo", "grid", "4", "4", "--incremental-certify"])
+        with pytest.raises(SystemExit):
+            main(["--demo", "grid", "4", "4", "--churn", "0"])
+        with pytest.raises(SystemExit):
+            main(["--demo", "grid", "4", "4", "--churn", "2", "--baseline"])
+        with pytest.raises(SystemExit):
+            main(["--demo", "grid", "4", "4", "--churn", "2", "--faults", "drop=0.01"])
+        with pytest.raises(SystemExit):
+            main(["--demo", "grid", "4", "4", "--churn", "2", "--certify-adversary"])
+
+
+class TestShardStats:
+    def test_hidden_by_default(self, capsys):
+        main(["--demo", "grid", "5", "5", "--shard-workers", "2", "--json", "--quiet"])
+        report = json.loads(capsys.readouterr().out)
+        assert "shard_stats" not in report
+
+    def test_surfaced_behind_flag(self, capsys):
+        main(["--demo", "grid", "5", "5", "--shard-workers", "2",
+              "--shard-stats", "--json", "--quiet"])
+        report = json.loads(capsys.readouterr().out)
+        assert report["shard_stats"] is not None
+        assert report["shard_stats"]["workers"] == 2
+
+    def test_sequential_run_reports_null(self, capsys):
+        main(["--demo", "grid", "4", "4", "--shard-stats", "--json", "--quiet"])
+        report = json.loads(capsys.readouterr().out)
+        assert "shard_stats" in report and report["shard_stats"] is None
+
+    def test_report_identical_modulo_shard_stats(self, capsys):
+        """The flag only *adds* a key: everything else stays bit-identical
+        (the serve-cache contract)."""
+        main(["--demo", "grid", "5", "5", "--shard-workers", "2",
+              "--shard-stats", "--json", "--quiet"])
+        with_stats = json.loads(capsys.readouterr().out)
+        main(["--demo", "grid", "5", "5", "--json", "--quiet"])
+        plain = json.loads(capsys.readouterr().out)
+        del with_stats["shard_stats"]
+        with_stats.pop("wall_s"), plain.pop("wall_s")
+        assert with_stats == plain

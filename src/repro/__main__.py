@@ -10,6 +10,8 @@ Usage::
     repro trace-diff a.jsonl b.jsonl
     repro serve jobs.jsonl --workers 4
     repro batch jobs.jsonl --workers 4 --json
+    repro batch jobs.jsonl --workers 4 --deadline 5 --retries 3 --queue-limit 64
+    repro cache-compact cache.jsonl
 
 (``repro`` is the installed console script; ``python -m repro`` is the
 equivalent in-tree invocation.)
@@ -65,7 +67,14 @@ certificate is healed with up to ``--max-retries`` escalating retries
 Serving: ``serve`` streams JSONL verdicts for a JSONL job stream and
 ``batch`` runs a job file to one aggregate report, both over the
 :mod:`repro.serve` driver (process-pool workers + canonical result
-cache); see that module and the README "Serving" section.
+cache).  The serving resilience layer (:mod:`repro.serve.resilience`)
+adds ``--deadline`` (per-attempt wall-clock budget), ``--retries``
+(seeded exponential backoff after worker deaths and timeouts, with
+pool respawn), ``--queue-limit`` (bounded admission, overflow jobs
+shed), and ``--chaos SPEC`` (seeded process-level fault injection);
+``cache-compact`` rewrites a persistent cache store to its live
+entries atomically.  See those modules and the README "Serving"
+section.
 
 Exit codes (mirrors the consolidated "CLI exit codes" table in
 README.md — every mode maps onto it; a ``serve`` / ``batch`` run exits
@@ -85,6 +94,14 @@ code  meaning
 4     degraded result — the self-healing retry budget ran out
       under ``--faults`` before a certified embedding emerged
       (partial state and diagnosis are reported)
+5     timeout — every attempt of a job exceeded its ``--deadline``
+      wall-clock budget (``serve`` / ``batch`` only)
+6     quarantined — one job repeatedly killed pool workers; it was
+      isolated after the retry budget so the rest of the batch
+      kept serving (``serve`` / ``batch`` only)
+7     shed — the bounded admission queue (``--queue-limit``) was
+      full; the job was refused without being run (``serve`` /
+      ``batch`` only)
 ====  ==========================================================
 """
 
@@ -186,6 +203,10 @@ def main(argv: list[str] | None = None) -> int:
         from .serve.cli import batch_cli, serve_cli
 
         return serve_cli(argv[1:]) if argv[0] == "serve" else batch_cli(argv[1:])
+    if argv and argv[0] == "cache-compact":
+        from .serve.cli import compact_cli
+
+        return compact_cli(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Distributed planar embedding (Ghaffari-Haeupler, PODC 2016)",

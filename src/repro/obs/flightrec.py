@@ -47,6 +47,8 @@ from .tracer import TraceFormatError
 __all__ = [
     "FlightRecorder",
     "FLIGHT_FORMAT_VERSION",
+    "DRIVER_LANE",
+    "SERVICE_LANE",
     "flight_override",
     "default_flight_recorder",
     "load_flight",
@@ -56,6 +58,11 @@ FLIGHT_FORMAT_VERSION = 1
 
 #: Lane for events that belong to the run as a whole, not one node.
 DRIVER_LANE = "__driver__"
+
+#: Lane for serving-layer fault events (retries, timeouts, pool deaths,
+#: quarantine, shed) — process-level chaos, one level above the
+#: simulated network's per-node lanes.
+SERVICE_LANE = "__service__"
 
 
 class FlightRecorder:

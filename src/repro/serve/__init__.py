@@ -13,11 +13,16 @@ production traffic:
   bit-identical exact hits and verified isomorphism-remap hits;
 * :mod:`.jobs`   — the serialized job model (JSONL in, JSONL verdicts
   out; flat picklable payloads across the process boundary);
-* :mod:`.driver` — the async batch driver: an asyncio submission queue
-  feeding a ``ProcessPoolExecutor`` of stateless workers, single-flight
-  deduplication of identical in-flight jobs, typed per-job outcomes
-  (ok / non-planar / degraded / error), deterministic result order;
-* :mod:`.cli`    — the ``repro serve`` / ``repro batch`` subcommands.
+* :mod:`.driver` — the async batch driver: a bounded asyncio admission
+  queue feeding a self-healing ``ProcessPoolExecutor`` of stateless
+  workers, single-flight deduplication of identical in-flight jobs,
+  typed per-job outcomes (ok / non-planar / degraded / error / timeout
+  / quarantined / shed), deterministic result order;
+* :mod:`.resilience` — deadlines, seeded retry backoff, pool
+  supervision/respawn, quarantine, load shedding, and the seeded
+  process-chaos harness (:class:`.resilience.ChaosPool`);
+* :mod:`.cli`    — the ``repro serve`` / ``repro batch`` /
+  ``repro cache-compact`` subcommands.
 
 Quickstart::
 
@@ -29,10 +34,19 @@ Quickstart::
         print(outcome.id, outcome.outcome, outcome.cache)
 """
 
-from .cache import CacheStats, ResultCache
+from .cache import CacheStats, ResultCache, compact_store
 from .canon import CanonicalForm, canonical_form, canonical_hash, exact_fingerprint
 from .driver import OUTCOME_EXIT, JobOutcome, ServiceDriver, execute_job
 from .jobs import JOB_KINDS, Job, JobSpecError, config_key, load_jobs, parse_job
+from .resilience import (
+    ChaosKilledError,
+    ChaosPool,
+    PoolSupervisor,
+    ResiliencePolicy,
+    ResilienceStats,
+    retry_delay,
+    torn_append,
+)
 
 __all__ = [
     "CanonicalForm",
@@ -41,6 +55,7 @@ __all__ = [
     "exact_fingerprint",
     "ResultCache",
     "CacheStats",
+    "compact_store",
     "Job",
     "JobSpecError",
     "JOB_KINDS",
@@ -51,4 +66,11 @@ __all__ = [
     "JobOutcome",
     "execute_job",
     "OUTCOME_EXIT",
+    "ChaosKilledError",
+    "ChaosPool",
+    "PoolSupervisor",
+    "ResiliencePolicy",
+    "ResilienceStats",
+    "retry_delay",
+    "torn_append",
 ]

@@ -30,14 +30,25 @@ The in-memory store is a bounded LRU.  With ``path`` set, every store
 also appends one JSONL line, and a fresh cache warm-starts by replaying
 the file — the digests are process-stable (:mod:`.canon` uses blake2b,
 never Python's randomized ``hash()``), so a persisted cache is valid
-across processes, restarts, and machines.  Unreadable or
-version-mismatched lines are counted and skipped, never fatal: a
-corrupt cache degrades to cold, it does not take the service down.
+across processes, restarts, and machines.
+
+The persistent store is **crash-consistent**: every v2 record carries a
+CRC-32 over its canonical body, appends are flushed and ``fsync``'d
+(one record = one durable unit), and replay repairs the file — a torn
+tail (the partial line a crash mid-append leaves, plus any trailing
+garbage after the last valid record) is truncated off, while corrupt
+lines *followed by* valid ones (a concurrent writer's damage, a flipped
+bit mid-file) are counted and skipped, never fatal.  Legacy v1 lines
+(no CRC) still load.  A corrupt cache degrades to cold, it does not
+take the service down.  ``repro cache-compact`` (:func:`compact_store`)
+rewrites a grown store to its live entries atomically.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import zlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 
@@ -45,9 +56,15 @@ from ..planar.graph import Graph, NodeId
 from ..planar.rotation import RotationError, RotationSystem
 from .canon import CanonicalForm
 
-__all__ = ["CacheEntry", "CacheStats", "ResultCache", "CACHE_SCHEMA_VERSION"]
+__all__ = [
+    "CacheEntry",
+    "CacheStats",
+    "ResultCache",
+    "CACHE_SCHEMA_VERSION",
+    "compact_store",
+]
 
-CACHE_SCHEMA_VERSION = 1
+CACHE_SCHEMA_VERSION = 2
 
 #: Isomorphic-but-differently-ordered submissions of one topology under
 #: one key; beyond this the oldest entry is dropped (the canonical tier
@@ -76,7 +93,8 @@ class CacheStats:
     evictions: int = 0
     rejected_remaps: int = 0  # canonical hits that failed re-verification
     persisted_loads: int = 0
-    persisted_skipped: int = 0
+    persisted_skipped: int = 0  # mid-file corrupt lines (skipped, kept on disk)
+    torn_truncated: int = 0  # torn-tail records truncated off on replay
 
     @property
     def hits(self) -> int:
@@ -94,6 +112,7 @@ class CacheStats:
             "rejected_remaps": self.rejected_remaps,
             "persisted_loads": self.persisted_loads,
             "persisted_skipped": self.persisted_skipped,
+            "torn_truncated": self.torn_truncated,
         }
 
 
@@ -114,6 +133,7 @@ class ResultCache:
 
     capacity: int = 512
     path: str | None = None
+    fsync: bool = True  # fsync every append (one record = one durable unit)
     stats: CacheStats = field(default_factory=CacheStats)
 
     def __post_init__(self) -> None:
@@ -220,48 +240,160 @@ class ResultCache:
     # -- persistence -----------------------------------------------------
 
     def _append(self, key: CacheKey, entry: CacheEntry) -> None:
-        line = json.dumps(
-            {
-                "v": CACHE_SCHEMA_VERSION,
-                "key": list(key),
-                "exact": entry.exact,
-                "verdict": entry.verdict,
-                "canon_rot": entry.canonical_rotation,
-            },
-            sort_keys=True,
-        )
-        with open(self.path, "a") as f:
-            f.write(line + "\n")
+        data = _record_line(key, entry).encode("utf-8")
+        with open(self.path, "ab") as f:
+            f.write(data)
+            if self.fsync:
+                f.flush()
+                os.fsync(f.fileno())
 
     def _replay(self, path: str) -> None:
         try:
-            f = open(path)
+            with open(path, "rb") as f:
+                raw = f.read()
         except OSError:
             return  # no warm store yet; it will be created on first append
-        with f:
-            for line in f:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    obj = json.loads(line)
-                    if obj.get("v") != CACHE_SCHEMA_VERSION:
-                        raise ValueError("schema version mismatch")
-                    key = tuple(obj["key"])
-                    if len(key) != 3:
-                        raise ValueError("malformed key")
-                    exact = obj["exact"]
-                    verdict = obj["verdict"]
-                    canon_rot = obj.get("canon_rot")
-                    if canon_rot is not None:
-                        canon_rot = {
-                            int(rank): [int(r) for r in order]
-                            for rank, order in canon_rot.items()
-                        }
-                except (ValueError, KeyError, TypeError, AttributeError):
-                    self.stats.persisted_skipped += 1
-                    continue
-                self.store(key, exact, verdict, canon_rot, _persist=False)
-                self.stats.persisted_loads += 1
+        records, skipped, torn, good_end = _scan_store(raw)
+        for key, exact, verdict, canon_rot in records:
+            self.store(key, exact, verdict, canon_rot, _persist=False)
+            self.stats.persisted_loads += 1
+        self.stats.persisted_skipped += skipped
+        self.stats.torn_truncated += torn
+        if good_end < len(raw):
+            # Repair the store in place: drop the torn tail a crash
+            # mid-append left, so the next append starts on a record
+            # boundary instead of welding onto the fragment.
+            try:
+                with open(path, "r+b") as f:
+                    f.truncate(good_end)
+            except OSError:
+                pass  # read-only store: serve from memory, skip the repair
         # Replay counted its inserts as stores; those were not fresh work.
         self.stats.stores -= self.stats.persisted_loads
+
+
+def _record_line(key: CacheKey, entry: CacheEntry) -> str:
+    """One durable v2 record: the canonical body JSON plus a CRC-32 of
+    that exact serialization, newline-terminated."""
+    body = {
+        "v": CACHE_SCHEMA_VERSION,
+        "key": list(key),
+        "exact": entry.exact,
+        "verdict": entry.verdict,
+        "canon_rot": entry.canonical_rotation,
+    }
+    crc = zlib.crc32(json.dumps(body, sort_keys=True).encode("utf-8"))
+    body["crc"] = crc
+    return json.dumps(body, sort_keys=True) + "\n"
+
+
+def _parse_record(line: str) -> tuple:
+    """Decode one store line into ``(key, exact, verdict, canon_rot)``.
+
+    Raises ``ValueError``/``KeyError``/``TypeError`` on any damage: bad
+    JSON, wrong schema version, malformed key — or, for v2 records, a
+    CRC that does not match the canonical body serialization (a flipped
+    bit anywhere in the record changes one side or the other).  Legacy
+    v1 lines carry no CRC and are accepted on structure alone.
+    """
+    obj = json.loads(line)
+    if not isinstance(obj, dict):
+        raise ValueError("record is not an object")
+    version = obj.get("v")
+    if version == 2:
+        crc = obj.pop("crc", None)
+        if crc != zlib.crc32(json.dumps(obj, sort_keys=True).encode("utf-8")):
+            raise ValueError("CRC mismatch")
+    elif version != 1:
+        raise ValueError("schema version mismatch")
+    key = tuple(obj["key"])
+    if len(key) != 3:
+        raise ValueError("malformed key")
+    exact = obj["exact"]
+    verdict = obj["verdict"]
+    canon_rot = obj.get("canon_rot")
+    if canon_rot is not None:
+        canon_rot = {
+            int(rank): [int(r) for r in order] for rank, order in canon_rot.items()
+        }
+    return key, exact, verdict, canon_rot
+
+
+def _scan_store(raw: bytes) -> tuple[list, int, int, int]:
+    """Walk a persisted store byte-for-byte.
+
+    Returns ``(records, skipped, torn, good_end)`` where ``records`` are
+    the decoded valid records in file order, ``good_end`` is the byte
+    offset just past the last valid record, ``skipped`` counts corrupt
+    lines *before* that offset (mid-file damage: skip, keep on disk —
+    a concurrent writer may still own those bytes), and ``torn`` counts
+    everything after it (trailing corrupt or unterminated lines: the
+    torn tail a crash mid-append leaves, safe to truncate).
+    """
+    records: list = []
+    bad_offsets: list[int] = []  # offsets of invalid lines, in file order
+    good_end = 0
+    offset = 0
+    for chunk in raw.split(b"\n"):
+        end = offset + len(chunk) + 1  # +1 for the newline split off
+        terminated = end <= len(raw)
+        if chunk.strip():
+            parsed = None
+            if terminated:  # an unterminated final line is torn by definition
+                try:
+                    parsed = _parse_record(chunk.decode("utf-8"))
+                except (ValueError, KeyError, TypeError, AttributeError):
+                    parsed = None
+            if parsed is not None:
+                records.append(parsed)
+                good_end = end
+            else:
+                bad_offsets.append(offset)
+        elif terminated:
+            good_end = end  # blank lines are harmless padding, keep them
+        offset = end
+    skipped = sum(1 for o in bad_offsets if o < good_end)
+    torn = len(bad_offsets) - skipped
+    return records, skipped, torn, good_end
+
+
+def compact_store(
+    path: str, capacity: int = 512, output: str | None = None
+) -> dict:
+    """Rewrite a persisted store to its live entries, atomically.
+
+    An append-only store grows monotonically — superseded duplicates,
+    skipped corruption, and entries beyond the LRU capacity all stay on
+    disk.  Compaction replays the file through a fresh
+    :class:`ResultCache` (same capacity semantics as serving, so what
+    survives compaction is exactly what a warm start would load), writes
+    the surviving entries as fsync'd v2 records to a temp file, and
+    ``os.replace``\\ s it over ``output`` (default: ``path`` itself) —
+    a crash mid-compact leaves the original store untouched.
+
+    Returns a JSON-ready summary of what was kept and dropped.
+    """
+    size_before = os.stat(path).st_size  # missing input is an error
+    cache = ResultCache(capacity=capacity, path=path, fsync=False)
+    tmp = (output or path) + ".compact.tmp"
+    entries = 0
+    with open(tmp, "wb") as f:
+        for key, bucket in cache._store.items():
+            for entry in bucket:
+                f.write(_record_line(key, entry).encode("utf-8"))
+                entries += 1
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, output or path)
+    return {
+        "type": "cache-compact",
+        "path": path,
+        "output": output or path,
+        "keys": len(cache),
+        "entries": entries,
+        "loaded": cache.stats.persisted_loads,
+        "skipped": cache.stats.persisted_skipped,
+        "torn_truncated": cache.stats.torn_truncated,
+        "bytes_before": size_before,
+        "bytes_after": os.stat(output or path).st_size,
+    }

@@ -2,12 +2,20 @@
 
 ``ServiceDriver`` turns the library's one-shot entry points into a
 service: jobs go onto an :mod:`asyncio` submission queue, a fixed set of
-consumer tasks feeds them to a ``ProcessPoolExecutor`` of 1..N stateless
-workers (or runs them inline with ``workers=0`` — the sequential
-reference driver the differential suite compares pools against), and
-every job resolves to a typed :class:`JobOutcome` — ``ok``,
-``non-planar``, ``degraded``, or ``error`` — in **deterministic
-submission order** regardless of completion order.
+consumer tasks feeds them to a process pool of 1..N stateless workers
+(or runs them inline with ``workers=0`` — the sequential reference
+driver the differential suite compares pools against), and every job
+resolves to a typed :class:`JobOutcome` — ``ok``, ``non-planar``,
+``degraded``, ``error``, or the resilience layer's ``timeout`` /
+``quarantined`` / ``shed`` — in **deterministic submission order**
+regardless of completion order.
+
+The pool rides a :class:`~repro.serve.resilience.PoolSupervisor`: a
+killed worker (``BrokenProcessPool``) costs one pool respawn, the
+in-flight jobs are requeued with seeded backoff
+(:func:`~repro.serve.resilience.retry_delay`), and a job that keeps
+killing workers is quarantined instead of poisoning the batch —
+every other job still gets its deterministic submission-order verdict.
 
 With a :class:`~repro.serve.cache.ResultCache` attached, each job is
 canonically hashed before dispatch; exact and canonical hits skip the
@@ -34,20 +42,41 @@ import math
 import os
 import time
 import warnings
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from ..obs.flightrec import SERVICE_LANE, default_flight_recorder
 from ..planar.graph import Graph
 from .cache import ResultCache
 from .canon import CanonicalForm, canonical_form, exact_fingerprint
 from .jobs import Job, config_key
+from .resilience import (
+    ChaosKilledError,
+    ChaosPool,
+    PoolSupervisor,
+    ResiliencePolicy,
+    ResilienceStats,
+    chaos_execute_inline,
+    chaos_execute_job,
+)
 
 __all__ = ["JobOutcome", "ServiceDriver", "execute_job", "OUTCOME_EXIT"]
 
 #: CLI exit code contributed by each per-job outcome; a batch exits with
 #: the maximum over its jobs (see the exit-code table in README.md).
-OUTCOME_EXIT = {"ok": 0, "non-planar": 1, "error": 3, "degraded": 4}
+#: ``timeout`` / ``quarantined`` / ``shed`` are the resilience layer's
+#: typed verdicts for jobs the service could not complete — worse than a
+#: degraded result, because no result was produced at all.
+OUTCOME_EXIT = {
+    "ok": 0,
+    "non-planar": 1,
+    "error": 3,
+    "degraded": 4,
+    "timeout": 5,
+    "quarantined": 6,
+    "shed": 7,
+}
 
 
 def _normalize(record: dict) -> dict:
@@ -191,7 +220,7 @@ class JobOutcome:
     index: int
     id: str
     kind: str
-    cache: str  # "miss" | "exact" | "canonical" | "coalesced" | "off"
+    cache: str  # "miss" | "exact" | "canonical" | "coalesced" | "off" | "shed"
     wall_s: float  # submission-to-resolution latency (includes queue wait)
     record: dict
 
@@ -254,6 +283,8 @@ class ServiceDriver:
         workers: int = 1,
         cache: ResultCache | None = None,
         shard_workers: int = 0,
+        resilience: ResiliencePolicy | None = None,
+        chaos: ChaosPool | None = None,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0 (0 = inline sequential)")
@@ -261,6 +292,7 @@ class ServiceDriver:
             raise ValueError("shard_workers must be >= 0 (0 = sequential recursion)")
         cores = os.cpu_count() or 1
         budget = max(1, self.__class__._core_budget(workers, cores))
+        self.shard_clamp: dict | None = None
         if shard_workers > budget and shard_workers > 1:
             clamped = budget if budget >= 2 else 0
             warnings.warn(
@@ -269,10 +301,21 @@ class ServiceDriver:
                 RuntimeWarning,
                 stacklevel=2,
             )
+            # Kept for the aggregate report: stderr warnings vanish in
+            # automation, the --json report does not.
+            self.shard_clamp = {
+                "requested": shard_workers,
+                "clamped": clamped,
+                "workers": workers,
+                "cores": cores,
+            }
             shard_workers = clamped
         self.workers = workers
         self.cache = cache
         self.shard_workers = shard_workers
+        self.resilience = resilience if resilience is not None else ResiliencePolicy()
+        self.chaos = chaos
+        self.rstats = ResilienceStats()
 
     @staticmethod
     def _core_budget(workers: int, cores: int) -> int:
@@ -300,24 +343,24 @@ class ServiceDriver:
         on_result: Callable[[JobOutcome], None] | None = None,
     ) -> list[JobOutcome]:
         loop = asyncio.get_running_loop()
-        queue: asyncio.Queue = asyncio.Queue()
+        policy = self.resilience
+        queue: asyncio.Queue = asyncio.Queue(maxsize=policy.queue_limit)
         inflight: dict = {}
         submitted = time.perf_counter()
-        futures: list[asyncio.Future] = []
-        for job in jobs:
-            future = loop.create_future()
-            futures.append(future)
-            queue.put_nowait((job, future))
+        futures: list[asyncio.Future] = [loop.create_future() for _ in jobs]
         n_consumers = max(1, self.workers)
-        pool = ProcessPoolExecutor(max_workers=self.workers) if self.workers else None
-        for _ in range(n_consumers):
-            queue.put_nowait(None)  # one shutdown sentinel per consumer
+        supervisor = (
+            PoolSupervisor(self.workers, self.rstats) if self.workers else None
+        )
         consumers = [
             asyncio.ensure_future(
-                self._consume(queue, pool, inflight, loop, submitted)
+                self._consume(queue, supervisor, inflight, loop, submitted)
             )
             for _ in range(n_consumers)
         ]
+        producer = asyncio.ensure_future(
+            self._produce(jobs, futures, queue, n_consumers, submitted)
+        )
         try:
             outcomes: list[JobOutcome] = []
             for future in futures:
@@ -327,35 +370,77 @@ class ServiceDriver:
                 outcomes.append(outcome)
             return outcomes
         finally:
+            producer.cancel()
             for consumer in consumers:
                 consumer.cancel()
-            await asyncio.gather(*consumers, return_exceptions=True)
-            if pool is not None:
-                pool.shutdown(wait=False, cancel_futures=True)
+            await asyncio.gather(producer, *consumers, return_exceptions=True)
+            if supervisor is not None:
+                supervisor.shutdown()
 
     # -- internals -------------------------------------------------------
 
-    async def _consume(self, queue, pool, inflight, loop, submitted) -> None:
+    async def _produce(self, jobs, futures, queue, n_consumers, submitted) -> None:
+        """Admission control: enqueue jobs, shedding past the bound.
+
+        With ``queue_limit=0`` the queue is unbounded and every job is
+        admitted.  With a bound, the enqueue loop never yields, so the
+        shed set is deterministic: a batch submits all at once, and
+        exactly the jobs beyond the queue bound are refused with a
+        typed ``shed`` outcome (load shedding at admission — the queue
+        depth *is* the backlog, since consumers have not run yet).
+        """
+        limit = self.resilience.queue_limit
+        flight = default_flight_recorder()
+        for job, future in zip(jobs, futures):
+            try:
+                queue.put_nowait((job, future))
+            except asyncio.QueueFull:
+                self.rstats.shed += 1
+                if flight is not None:
+                    flight.record(
+                        SERVICE_LANE, "shed", None, job=job.id, queue_limit=limit
+                    )
+                record = _normalize({
+                    "outcome": "shed",
+                    "shed": {"queue_limit": limit},
+                })
+                if not future.done():
+                    future.set_result(self._outcome(job, "shed", submitted, record))
+        for _ in range(n_consumers):
+            await queue.put(None)  # one shutdown sentinel per consumer
+
+    async def _consume(self, queue, supervisor, inflight, loop, submitted) -> None:
         while True:
             item = await queue.get()
             if item is None:
                 return
             job, future = item
             try:
-                outcome = await self._process(job, pool, inflight, loop, submitted)
+                outcome = await self._process(job, supervisor, inflight, loop, submitted)
             except asyncio.CancelledError:
                 raise
-            except Exception as exc:  # infrastructure failure, not job failure
-                if not future.done():
-                    future.set_exception(exc)
-                continue
+            except Exception as exc:  # infrastructure failure the retry
+                # ladder could not absorb: still a typed per-job error —
+                # setting the exception on the future would abort the
+                # result loop and strip every later job of its verdict.
+                record = _normalize({
+                    "outcome": "error",
+                    "error": {
+                        "type": type(exc).__name__,
+                        "message": str(exc),
+                        "where": "driver",
+                    },
+                })
+                outcome = self._outcome(
+                    job, "off" if self.cache is None else "miss", submitted, record
+                )
             if not future.done():
                 future.set_result(outcome)
 
-    async def _process(self, job: Job, pool, inflight, loop, submitted) -> JobOutcome:
+    async def _process(self, job: Job, supervisor, inflight, loop, submitted) -> JobOutcome:
         cache = self.cache
         if cache is None:
-            record = await self._execute(job, pool, loop)
+            record = await self._execute(job, supervisor, loop)
             return self._outcome(job, "off", submitted, record)
 
         form = canonical_form(job.graph)
@@ -378,7 +463,7 @@ class ServiceDriver:
         inflight[flight_key] = waiter
         cache.stats.misses += 1
         try:
-            record = await self._execute(job, pool, loop)
+            record = await self._execute(job, supervisor, loop)
         except BaseException as exc:
             if not waiter.done():
                 waiter.set_exception(exc)
@@ -400,7 +485,13 @@ class ServiceDriver:
             cache.store(key, exact, record, canonical_rotation)
         return self._outcome(job, "miss", submitted, record)
 
-    async def _execute(self, job: Job, pool, loop) -> dict:
+    async def _execute(self, job: Job, supervisor, loop) -> dict:
+        """Run one job to a verdict record under the resilience policy:
+        per-attempt deadline, seeded backoff between attempts, pool
+        respawn + requeue on worker death, quarantine when the retry
+        budget is spent on pool deaths, ``timeout`` when it is spent on
+        deadlines.  Worker-side failures come back as typed records and
+        are never retried — they are deterministic job failures."""
         payload = job.payload()
         # Apply the driver-level sharding default *after* the cache key
         # was computed from job.config: sharding never changes results,
@@ -408,26 +499,118 @@ class ServiceDriver:
         # sharing cache entries.  A job's own explicit value wins.
         if self.shard_workers and "shard_workers" not in payload["config"]:
             payload["config"]["shard_workers"] = self.shard_workers
-        try:
-            if pool is None:
-                # Inline sequential reference path: same worker function,
-                # same serialized payload, no process hop.
-                return execute_job(payload)
-            return await loop.run_in_executor(pool, execute_job, payload)
-        except asyncio.CancelledError:
-            raise
-        except Exception as exc:
-            # The worker folds job failures into records, so reaching
-            # here means pool infrastructure died (broken process,
-            # unpicklable result).  Surface it as a typed error outcome.
-            return _normalize({
-                "outcome": "error",
-                "error": {
+        policy = self.resilience
+        deadline = payload["config"].get("deadline_s", policy.deadline_s)
+        attempts = 1 + policy.max_retries
+        pool_deaths = 0
+        last_error: dict | None = None
+        flight = default_flight_recorder()
+        for attempt in range(attempts):
+            if attempt:
+                self.rstats.retries += 1
+                delay = policy.delay(job.id, attempt)
+                if flight is not None:
+                    flight.record(
+                        SERVICE_LANE, "retry", None,
+                        job=job.id, attempt=attempt, backoff_s=round(delay, 6),
+                    )
+                if delay:
+                    await asyncio.sleep(delay)
+            generation = supervisor.generation if supervisor is not None else 0
+            try:
+                if supervisor is None:
+                    # Inline sequential reference path: same worker
+                    # function, same serialized payload, no process hop.
+                    # Deadlines cannot preempt it (it blocks the loop).
+                    if self.chaos is not None:
+                        return chaos_execute_inline(payload, self.chaos, attempt)
+                    return execute_job(payload)
+                if self.chaos is not None:
+                    future = supervisor.submit(
+                        loop, chaos_execute_job, payload, self.chaos.to_dict(), attempt
+                    )
+                else:
+                    future = supervisor.submit(loop, execute_job, payload)
+                if deadline is not None:
+                    return await asyncio.wait_for(future, timeout=deadline)
+                return await future
+            except asyncio.CancelledError:
+                raise
+            except TimeoutError:
+                # The attempt's budget ran out; the abandoned worker
+                # computation finishes (or dies) on its own and its
+                # result is discarded.
+                self.rstats.timeouts += 1
+                last_error = {
+                    "type": "DeadlineExceeded",
+                    "message": f"attempt {attempt + 1}/{attempts} exceeded"
+                               f" the {deadline}s deadline",
+                }
+                if flight is not None:
+                    flight.record(
+                        SERVICE_LANE, "job-timeout", None,
+                        job=job.id, attempt=attempt, deadline_s=deadline,
+                    )
+                continue
+            except (BrokenExecutor, ChaosKilledError) as exc:
+                # Worker death: the pool (or its inline stand-in) died
+                # under this job.  Heal the pool once across however
+                # many consumers observed the same death, then requeue.
+                pool_deaths += 1
+                self.rstats.pool_deaths += 1
+                last_error = {
                     "type": type(exc).__name__,
-                    "message": str(exc),
-                    "where": "dispatch",
+                    "message": str(exc) or "worker process died",
+                }
+                if flight is not None:
+                    flight.record(
+                        SERVICE_LANE, "pool-death", None, job=job.id, attempt=attempt
+                    )
+                if supervisor is not None:
+                    await supervisor.heal(generation)
+                self.rstats.requeued += 1
+                after = policy.quarantine_after
+                if after is not None and pool_deaths >= after:
+                    break  # poison fast-path: stop burning retries on it
+                continue
+            except Exception as exc:
+                # The worker folds job failures into records, so reaching
+                # here means dispatch infrastructure failed in a way a
+                # fresh pool would not fix (e.g. unpicklable payload).
+                # Surface it as a typed error outcome, no retry.
+                return _normalize({
+                    "outcome": "error",
+                    "error": {
+                        "type": type(exc).__name__,
+                        "message": str(exc),
+                        "where": "dispatch",
+                    },
+                })
+        # Retry budget exhausted: a typed verdict, never an exception —
+        # the rest of the batch keeps its deterministic outcomes.
+        if pool_deaths:
+            self.rstats.quarantined += 1
+            if flight is not None:
+                flight.record(
+                    SERVICE_LANE, "quarantine", None,
+                    job=job.id, pool_deaths=pool_deaths,
+                )
+            return _normalize({
+                "outcome": "quarantined",
+                "quarantined": {
+                    "attempts": attempts,
+                    "pool_deaths": pool_deaths,
+                    "last_error": last_error,
                 },
             })
+        return _normalize({
+            "outcome": "timeout",
+            "timeout": {
+                "attempts": attempts,
+                "deadline_s": deadline,
+                "last_error": last_error,
+            },
+        })
 
     @staticmethod
     def _outcome(job: Job, tier: str, submitted: float, record: dict) -> JobOutcome:
@@ -465,8 +648,14 @@ class ServiceDriver:
         """The batch report: outcome counts, cache counters, throughput,
         and latency percentiles (JSON-ready)."""
         counts = {name: 0 for name in OUTCOME_EXIT}
+        fault_stats: dict[str, int] = {}
         for outcome in outcomes:
             counts[outcome.outcome] = counts.get(outcome.outcome, 0) + 1
+            report = outcome.record.get("report")
+            if isinstance(report, dict):
+                for key, value in (report.get("fault_stats") or {}).items():
+                    if isinstance(value, int) and not isinstance(value, bool):
+                        fault_stats[key] = fault_stats.get(key, 0) + value
         latencies = sorted(outcome.wall_s for outcome in outcomes)
         stats = self.cache.stats if self.cache is not None else None
         return {
@@ -476,6 +665,9 @@ class ServiceDriver:
             "outcomes": counts,
             "cache": stats.to_dict() if stats is not None else None,
             "computed": stats.misses if stats is not None else len(outcomes),
+            "resilience": self.rstats.to_dict(),
+            "shard_clamp": self.shard_clamp,
+            "fault_stats": fault_stats or None,
             "wall_s": round(wall_s, 6),
             "jobs_per_s": round(len(outcomes) / wall_s, 3) if wall_s > 0 else None,
             "latency_s": {
@@ -489,5 +681,6 @@ class ServiceDriver:
     @staticmethod
     def exit_code(outcomes: Sequence[JobOutcome]) -> int:
         """Batch partial-failure semantics: the worst per-job code wins
-        (0 ok < 1 non-planar < 3 error < 4 degraded, numerically)."""
+        (0 ok < 1 non-planar < 3 error < 4 degraded < 5 timeout
+        < 6 quarantined < 7 shed, numerically)."""
         return max((outcome.exit_code for outcome in outcomes), default=0)

@@ -29,10 +29,12 @@ Job object fields:
 ``seed``
     Seed for randomized ``demo`` families (default 0).
 ``config``
-    Optional dict: ``bandwidth`` (words/edge/round, default 1) and
+    Optional dict: ``bandwidth`` (words/edge/round, default 1),
     ``shard_workers`` (per-job recursion worker processes, default 0 =
-    sequential; see :mod:`repro.shard`) for all kinds; ``faults`` (a
-    chaos spec string), ``fault_seed``, and ``max_retries``
+    sequential; see :mod:`repro.shard`), and ``deadline_s`` (per-attempt
+    wall-clock budget in seconds, overriding the driver's
+    ``--deadline``; see :mod:`repro.serve.resilience`) for all kinds;
+    ``faults`` (a chaos spec string), ``fault_seed``, and ``max_retries``
     additionally for ``heal``; ``churn_ops`` (operation count, default
     8), ``churn_seed`` (op-plan seed, default 0), and ``incremental``
     (patch the dirty region vs full rebuild per op, default true)
@@ -58,7 +60,7 @@ __all__ = ["Job", "JobSpecError", "JOB_KINDS", "parse_job", "load_jobs", "config
 
 JOB_KINDS = ("embed", "certify", "heal", "churn")
 
-_COMMON_CONFIG = {"bandwidth", "shard_workers"}
+_COMMON_CONFIG = {"bandwidth", "shard_workers", "deadline_s"}
 _HEAL_CONFIG = {"faults", "fault_seed", "max_retries"}
 _CHURN_CONFIG = {"churn_ops", "churn_seed", "incremental"}
 
@@ -176,6 +178,12 @@ def parse_job(obj: dict, index: int = 0) -> Job:
         not isinstance(config["shard_workers"], int) or config["shard_workers"] < 0
     ):
         raise JobSpecError(f"job {index}: config.shard_workers must be an integer >= 0")
+    if "deadline_s" in config and (
+        isinstance(config["deadline_s"], bool)
+        or not isinstance(config["deadline_s"], (int, float))
+        or config["deadline_s"] <= 0
+    ):
+        raise JobSpecError(f"job {index}: config.deadline_s must be a number > 0")
     if kind == "heal":
         if config["faults"] is not None and not isinstance(config["faults"], str):
             raise JobSpecError(f"job {index}: config.faults must be a spec string or null")

@@ -1,0 +1,403 @@
+"""The service resilience layer: deadlines, seeded retries, pool healing.
+
+E17 gave the *simulated network* a chaos discipline: every fault is a
+pure function of a seed, so any incident replays exactly.  This module
+lifts that discipline one level up, to the real process layer that
+serves traffic (:class:`~repro.serve.driver.ServiceDriver`), where the
+failure modes are worker death (``SIGKILL``, OOM, a segfaulting C
+extension), slow jobs, full queues, and crashes mid-cache-append:
+
+* :class:`ResiliencePolicy` — per-job wall-clock deadlines and up to K
+  retries with exponential backoff whose jitter is a **pure function of
+  (seed, job id, attempt)** (:func:`retry_delay`), the same
+  replayability contract :class:`~repro.congest.faults.FaultPlan`
+  gives message faults;
+* :class:`PoolSupervisor` — a generation-tracked process pool that
+  detects worker death (``BrokenProcessPool``), respawns the pool once
+  per death no matter how many consumers observed it, and lets each
+  consumer requeue its in-flight job onto the fresh pool;
+* :class:`ResilienceStats` — the shed/requeue/respawn/timeout counters
+  the batch report aggregates;
+* :class:`ChaosPool` — the process-level chaos harness: seeded worker
+  kills and injected latency applied inside pool workers
+  (:func:`chaos_execute_job`), plus :func:`torn_append` to simulate a
+  crash mid-append on the persistent cache.  Like ``FaultPlan``, every
+  decision hashes ``(seed, kind, job id, attempt)``, so a chaos run is
+  bit-replayable on any machine.
+
+The driver converts exhausted budgets into three new typed outcomes —
+``timeout`` (deadline ran out on every attempt), ``quarantined`` (the
+same job repeatedly killed workers; the batch keeps serving, the poison
+job is isolated), and ``shed`` (the bounded admission queue was full;
+the job was refused without being run) — so every submitted job gets a
+verdict even while the pool is dying under it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import signal
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any
+
+__all__ = [
+    "ChaosKilledError",
+    "ChaosPool",
+    "PoolSupervisor",
+    "ResiliencePolicy",
+    "ResilienceStats",
+    "chaos_execute_job",
+    "retry_delay",
+    "torn_append",
+]
+
+
+def _unit(seed: int, *key: Any) -> float:
+    """A deterministic uniform draw in [0, 1) from ``(seed, *key)`` —
+    the hash-over-repr idiom of :mod:`repro.congest.faults`, stable
+    across processes and machines, independent of evaluation order.
+    blake2b rather than CRC-32: here consecutive keys differ only in
+    the trailing attempt number, and CRC-32's weak diffusion keeps
+    their draws nearly equal — a job drawing "kill" on attempt 0 would
+    draw it on every retry too, making every chaos victim a poison
+    job.  A real hash decorrelates the attempts."""
+    raw = repr((seed, key)).encode("utf-8", "backslashreplace")
+    digest = hashlib.blake2b(raw, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
+def retry_delay(
+    seed: int,
+    job_id: str,
+    attempt: int,
+    base_s: float = 0.05,
+    cap_s: float = 2.0,
+) -> float:
+    """The backoff before retry ``attempt`` (1-based) of ``job_id``.
+
+    Exponential envelope ``min(cap_s, base_s * 2**(attempt-1))`` scaled
+    by a deterministic jitter in [0.5, 1.0) — a **pure function** of
+    ``(seed, job_id, attempt)`` plus the policy constants, so a chaos
+    run's retry schedule replays exactly (the property
+    ``tests/serve/test_resilience.py`` pins with hypothesis).  Attempt 0
+    is the first try: no delay.
+    """
+    if attempt < 1:
+        return 0.0
+    envelope = min(cap_s, base_s * (2.0 ** (attempt - 1)))
+    return envelope * (0.5 + 0.5 * _unit(seed, "backoff", job_id, attempt))
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Deadlines, retry budget, and admission control for one driver.
+
+    The default policy keeps the pre-resilience driver behavior for
+    *job* outcomes (worker-side failures are still typed per-job
+    records, never retried — they are deterministic) but adds
+    self-healing for *infrastructure* failures: a dead pool is
+    respawned and the in-flight job retried up to ``max_retries``
+    times.  ``deadline_s`` bounds each attempt's wall clock (pool mode
+    only — an inline ``workers=0`` job blocks the event loop and cannot
+    be preempted).  ``queue_limit`` bounds the admission queue; overflow
+    jobs resolve to the ``shed`` outcome instead of waiting.
+    ``quarantine_after`` quarantines a job early once that many of its
+    attempts have killed the pool (``None`` = only after the full retry
+    budget is spent).
+    """
+
+    seed: int = 0
+    deadline_s: float | None = None
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    queue_limit: int = 0  # 0 = unbounded: never shed
+    quarantine_after: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline_s must be positive (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff delays must be >= 0")
+        if self.queue_limit < 0:
+            raise ValueError("queue_limit must be >= 0 (0 = unbounded)")
+        if self.quarantine_after is not None and self.quarantine_after < 1:
+            raise ValueError("quarantine_after must be >= 1 (or None)")
+
+    def delay(self, job_id: str, attempt: int) -> float:
+        return retry_delay(
+            self.seed, job_id, attempt, self.backoff_base_s, self.backoff_cap_s
+        )
+
+
+@dataclass
+class ResilienceStats:
+    """What the resilience layer did to one batch (driver lifetime)."""
+
+    timeouts: int = 0  # attempts that exceeded the per-job deadline
+    retries: int = 0  # re-attempts dispatched (after backoff)
+    pool_deaths: int = 0  # BrokenProcessPool observations (per job attempt)
+    respawns: int = 0  # fresh pools created to replace dead ones
+    requeued: int = 0  # in-flight jobs resubmitted after a pool death
+    quarantined: int = 0  # jobs isolated after repeated pool-killing failures
+    shed: int = 0  # jobs refused at admission (queue full)
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "pool_deaths": self.pool_deaths,
+            "respawns": self.respawns,
+            "requeued": self.requeued,
+            "quarantined": self.quarantined,
+            "shed": self.shed,
+        }
+
+    @property
+    def any(self) -> bool:
+        return any(self.to_dict().values())
+
+
+class PoolSupervisor:
+    """A self-healing ``ProcessPoolExecutor``: one respawn per death.
+
+    Consumers submit through the supervisor and remember the pool
+    *generation* their future came from.  On ``BrokenProcessPool``
+    every consumer calls :meth:`heal` with that generation; the first
+    one in replaces the pool and bumps the generation, the rest see the
+    bump and reuse the fresh pool — so N consumers observing one death
+    cost exactly one respawn.
+    """
+
+    def __init__(self, workers: int, stats: ResilienceStats | None = None) -> None:
+        if workers < 1:
+            raise ValueError("PoolSupervisor needs workers >= 1")
+        self.workers = workers
+        self.stats = stats
+        self.generation = 0
+        self._pool: ProcessPoolExecutor = ProcessPoolExecutor(max_workers=workers)
+        self._lock: Any = None  # created lazily inside the running loop
+
+    def submit(self, loop, fn, *args):
+        """Schedule ``fn(*args)`` on the current pool; pair the returned
+        awaitable with :attr:`generation` captured *before* the call."""
+        return loop.run_in_executor(self._pool, fn, *args)
+
+    async def heal(self, seen_generation: int) -> bool:
+        """Replace the pool the caller saw die; True if this call did."""
+        import asyncio
+
+        if self._lock is None:
+            self._lock = asyncio.Lock()
+        async with self._lock:
+            if seen_generation != self.generation:
+                return False  # a sibling consumer already healed it
+            dead, self._pool = self._pool, ProcessPoolExecutor(max_workers=self.workers)
+            self.generation += 1
+            if self.stats is not None:
+                self.stats.respawns += 1
+            try:
+                dead.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # noqa: BLE001 — a broken pool may refuse teardown
+                pass
+            return True
+
+    def shutdown(self) -> None:
+        """Best-effort teardown; called from a ``finally``."""
+        try:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # noqa: BLE001
+            pass
+
+
+class ChaosKilledError(RuntimeError):
+    """Inline-mode (``workers=0``) stand-in for a SIGKILLed pool worker:
+    the driver treats it exactly like a pool death (retry, quarantine),
+    which makes the whole quarantine ladder testable without forking."""
+
+
+@dataclass(frozen=True)
+class ChaosPool:
+    """A seeded, fully deterministic process-level chaos schedule.
+
+    Applied *inside* pool workers by :func:`chaos_execute_job`: a kill
+    decision ``SIGKILL``\\ s the worker mid-job (surfacing upstream as
+    ``BrokenProcessPool`` — the real failure shape), a latency decision
+    sleeps before computing.  Every decision is a pure hash of
+    ``(seed, kind, job id, attempt)``, so retries see fresh draws and
+    the whole chaos run replays bit-identically on any machine.
+
+    ``kill_jobs`` / ``slow_jobs`` name explicit victims (poison-job and
+    deadline scenarios): a job in ``kill_jobs`` dies on every attempt
+    below ``kill_attempts``; a job in ``slow_jobs`` sleeps
+    ``latency_s`` on every attempt.
+    """
+
+    seed: int = 0
+    kill_rate: float = 0.0
+    kill_jobs: tuple = ()
+    kill_attempts: int = 1
+    latency_rate: float = 0.0
+    latency_s: float = 0.0
+    slow_jobs: tuple = ()
+
+    def __post_init__(self) -> None:
+        for name in ("kill_rate", "latency_rate"):
+            rate = getattr(self, name)
+            if not (0.0 <= rate <= 1.0):
+                raise ValueError(f"{name}={rate} outside [0, 1]")
+        if self.latency_s < 0:
+            raise ValueError("latency_s must be >= 0")
+        if self.kill_attempts < 0:
+            raise ValueError("kill_attempts must be >= 0")
+
+    def kills(self, job_id: str, attempt: int) -> bool:
+        if job_id in self.kill_jobs and attempt < self.kill_attempts:
+            return True
+        return bool(self.kill_rate) and _unit(
+            self.seed, "kill", job_id, attempt
+        ) < self.kill_rate
+
+    def latency(self, job_id: str, attempt: int) -> float:
+        if job_id in self.slow_jobs:
+            return self.latency_s
+        if self.latency_rate and _unit(
+            self.seed, "latency", job_id, attempt
+        ) < self.latency_rate:
+            return self.latency_s
+        return 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "kill_rate": self.kill_rate,
+            "kill_jobs": list(self.kill_jobs),
+            "kill_attempts": self.kill_attempts,
+            "latency_rate": self.latency_rate,
+            "latency_s": self.latency_s,
+            "slow_jobs": list(self.slow_jobs),
+        }
+
+    @classmethod
+    def from_dict(cls, obj: dict) -> "ChaosPool":
+        return cls(
+            seed=obj.get("seed", 0),
+            kill_rate=obj.get("kill_rate", 0.0),
+            kill_jobs=tuple(obj.get("kill_jobs", ())),
+            kill_attempts=obj.get("kill_attempts", 1),
+            latency_rate=obj.get("latency_rate", 0.0),
+            latency_s=obj.get("latency_s", 0.0),
+            slow_jobs=tuple(obj.get("slow_jobs", ())),
+        )
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "ChaosPool":
+        """Parse a CLI chaos spec, e.g. ``"kill=0.2,latency=0.3:0.05"``.
+
+        ``latency`` takes ``rate[:seconds]``; ``seed=N`` inside the
+        spec overrides the ``seed`` argument.
+        """
+        kwargs: dict[str, Any] = {"seed": seed}
+        if spec.strip():
+            for item in spec.split(","):
+                if "=" not in item:
+                    raise ValueError(f"bad chaos spec item {item!r} (expected key=value)")
+                key, _, value = item.partition("=")
+                key, value = key.strip().lower(), value.strip()
+                try:
+                    if key == "kill":
+                        kwargs["kill_rate"] = float(value)
+                    elif key == "latency":
+                        rate, _, secs = value.partition(":")
+                        kwargs["latency_rate"] = float(rate)
+                        if secs:
+                            kwargs["latency_s"] = float(secs)
+                    elif key == "seed":
+                        kwargs["seed"] = int(value)
+                    else:
+                        raise ValueError(
+                            f"unknown chaos class {key!r}; options: kill, latency, seed"
+                        )
+                except ValueError:
+                    raise
+        return cls(**kwargs)
+
+    def decisions(self, job_ids, attempts: int = 4) -> list[dict]:
+        """The fully-resolved schedule for a set of jobs — the JSONL
+        chaos-plan artifact CI uploads next to the flight dump, so a
+        failed run's exact kill/latency pattern is in the report."""
+        rows = []
+        for job_id in job_ids:
+            for attempt in range(attempts):
+                kill = self.kills(job_id, attempt)
+                lat = self.latency(job_id, attempt)
+                if kill or lat:
+                    rows.append(
+                        {
+                            "job": job_id,
+                            "attempt": attempt,
+                            "kill": kill,
+                            "latency_s": lat,
+                        }
+                    )
+        return rows
+
+
+def chaos_execute_job(payload: dict, chaos: dict, attempt: int) -> dict:
+    """Worker entry point under chaos: apply the plan, then run the job.
+
+    Module-level so it pickles by reference into pool processes.  A kill
+    decision takes the whole worker down with ``SIGKILL`` — the pool
+    surfaces that as ``BrokenProcessPool`` to *every* in-flight job,
+    exactly like a production OOM kill.
+    """
+    from .driver import execute_job
+
+    plan = ChaosPool.from_dict(chaos)
+    job_id = payload.get("id", "")
+    if plan.kills(job_id, attempt):
+        os.kill(os.getpid(), signal.SIGKILL)
+    delay = plan.latency(job_id, attempt)
+    if delay:
+        time.sleep(delay)
+    return execute_job(payload)
+
+
+def chaos_execute_inline(payload: dict, plan: ChaosPool, attempt: int) -> dict:
+    """The ``workers=0`` twin of :func:`chaos_execute_job`: a kill
+    decision raises :class:`ChaosKilledError` instead of nuking the
+    process, so the retry/quarantine ladder is testable inline."""
+    from .driver import execute_job
+
+    job_id = payload.get("id", "")
+    if plan.kills(job_id, attempt):
+        raise ChaosKilledError(f"chaos killed job {job_id!r} on attempt {attempt}")
+    delay = plan.latency(job_id, attempt)
+    if delay:
+        time.sleep(delay)
+    return execute_job(payload)
+
+
+def torn_append(path: str, line: str | None = None) -> str:
+    """Simulate a crash mid-append on a persistent cache store: write a
+    truncated, unterminated prefix of ``line`` (default: a copy of the
+    file's last line) with no trailing newline — the exact shape a
+    process death between ``write()`` and the page hitting disk leaves.
+    Returns the fragment written.  The cache's torn-tail repair
+    (:meth:`~repro.serve.cache.ResultCache._replay`) must drop it.
+    """
+    if line is None:
+        with open(path) as f:
+            lines = [ln for ln in f.read().splitlines() if ln.strip()]
+        if not lines:
+            raise ValueError(f"{path!r} has no line to tear")
+        line = lines[-1]
+    fragment = line[: max(1, len(line) // 2)]
+    with open(path, "a") as f:
+        f.write(fragment)  # no newline: the append was torn mid-record
+    return fragment

@@ -44,7 +44,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 
 from ..congest.metrics import RoundMetrics
 from ..congest.network import scheduler_override
@@ -195,6 +195,7 @@ class ShardRuntime:
             "fallback_skipped": 0,
             "fallback_replay_mismatch": 0,
             "fallback_pool_error": 0,
+            "pool_deaths": 0,  # BrokenExecutor: pool discarded, respawned lazily
             "busy_s": 0.0,  # worker CPU seconds of adopted subtrees
             "window_s": 0.0,  # union of wall intervals with work in flight
             "encode_s": 0.0,
@@ -284,7 +285,17 @@ class ShardRuntime:
         try:
             try:
                 entry = future.result()[slot]
-            except Exception:  # pool/worker death, pickling failure, ...
+            except BrokenExecutor:
+                # A worker died (SIGKILL, OOM): the whole pool is broken.
+                # Typed propagation — discard it so the next plan_children
+                # respawns a fresh pool, and recompute this subtree
+                # inline; the serve-layer retry above composes with this
+                # (its re-attempt lands on the healed pool).
+                self.stats["fallback_pool_error"] += 1
+                self.stats["pool_deaths"] += 1
+                self._discard_pool()
+                return self._inline(ctx, w, level, child_path)
+            except Exception:  # pickling failure, cancelled future, ...
                 self.stats["fallback_pool_error"] += 1
                 return self._inline(ctx, w, level, child_path)
             if "part" not in entry:
@@ -341,6 +352,25 @@ class ShardRuntime:
         from ..core.recursion import embed_subtree
 
         return embed_subtree(ctx, w, level, child_path)
+
+    def _discard_pool(self) -> None:
+        """Drop a broken pool so ``_ensure_pool`` builds a fresh one.
+
+        Pending tickets on the dead pool resolve to ``BrokenExecutor``
+        and fall back inline one by one — correctness is untouched, the
+        run just loses its overlap until the respawn.
+        """
+        from ..obs.flightrec import SERVICE_LANE, default_flight_recorder
+
+        if self._pool is not None:
+            try:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # noqa: BLE001 — a broken pool may refuse teardown
+                pass
+            self._pool = None
+        recorder = default_flight_recorder()
+        if recorder is not None:
+            recorder.record(SERVICE_LANE, "shard-pool-death", None, workers=self.workers)
 
     # -- teardown ----------------------------------------------------------
 
